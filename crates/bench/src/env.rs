@@ -1,0 +1,155 @@
+//! Shared experiment environment: datasets, clusters and scale knobs.
+
+use stratmr_mapreduce::{Cluster, InputSplit};
+use stratmr_population::dblp::{DblpConfig, DblpGenerator};
+use stratmr_population::uniform::generate_uniform;
+use stratmr_population::{Dataset, Individual, Placement};
+use stratmr_query::{GroupSpec, MssdQuery, QueryGenerator};
+
+/// Scale configuration, read from the environment.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Number of individuals in the synthetic population.
+    pub population: usize,
+    /// Repetitions for averaged statistics.
+    pub runs: usize,
+    /// Sample sizes ("scales") per SSD query.
+    pub scales: Vec<usize>,
+    /// Machines holding the data (the paper's 10 slave nodes).
+    pub machines: usize,
+    /// Input splits.
+    pub splits: usize,
+    /// Use the uniform synthetic dataset of §6.2.1 instead of the
+    /// DBLP-like one.
+    pub uniform: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            population: 100_000,
+            runs: 20,
+            scales: vec![100, 1_000, 10_000],
+            machines: 10,
+            splits: 40,
+            uniform: false,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Read the configuration from `STRATMR_*` environment variables,
+    /// falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(v) = env_usize("STRATMR_POP") {
+            cfg.population = v;
+        }
+        if let Some(v) = env_usize("STRATMR_RUNS") {
+            cfg.runs = v;
+        }
+        if let Ok(s) = std::env::var("STRATMR_SCALES") {
+            let scales: Vec<usize> = s
+                .split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .collect();
+            if !scales.is_empty() {
+                cfg.scales = scales;
+            }
+        }
+        if let Some(v) = env_usize("STRATMR_MACHINES") {
+            cfg.machines = v;
+        }
+        cfg
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// A prepared experiment environment: one population, pre-partitioned,
+/// plus a query generator.
+pub struct BenchEnv {
+    /// The configuration the environment was built from.
+    pub config: BenchConfig,
+    /// The full population (for proportional query generation and ground
+    /// truth).
+    pub data: Dataset,
+    /// MapReduce input splits of the population.
+    pub splits: Vec<InputSplit<Individual>>,
+    qgen: QueryGenerator,
+}
+
+impl BenchEnv {
+    /// Build the environment: generate the population and partition it.
+    pub fn new(config: BenchConfig) -> Self {
+        let data = if config.uniform {
+            generate_uniform(config.population, 0xDB1F, 100_000)
+        } else {
+            DblpGenerator::new(DblpConfig::default()).generate(config.population, 0xDB1F)
+        };
+        let dist = data.distribute(config.machines, config.splits, Placement::RoundRobin);
+        let splits = stratmr_sampling::to_input_splits(&dist);
+        let qgen = QueryGenerator::new(DblpGenerator::schema());
+        Self {
+            config,
+            data,
+            splits,
+            qgen,
+        }
+    }
+
+    /// Build from the environment variables.
+    pub fn from_env() -> Self {
+        Self::new(BenchConfig::from_env())
+    }
+
+    /// A cluster of `machines` simulated slave nodes.
+    pub fn cluster(&self, machines: usize) -> Cluster {
+        Cluster::new(machines)
+    }
+
+    /// Generate one paper-style MSSD query group with proportional
+    /// frequency allocation.
+    pub fn group(&self, spec: &GroupSpec, sample_size: usize, seed: u64) -> MssdQuery {
+        self.qgen
+            .generate_paper_group_on(spec, sample_size, self.data.tuples(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_builds_and_generates_groups() {
+        let cfg = BenchConfig {
+            population: 2_000,
+            runs: 1,
+            scales: vec![50],
+            machines: 2,
+            splits: 4,
+            uniform: false,
+        };
+        let env = BenchEnv::new(cfg);
+        assert_eq!(env.data.len(), 2_000);
+        assert_eq!(env.splits.len(), 4);
+        let mssd = env.group(&GroupSpec::SMALL, 50, 1);
+        assert_eq!(mssd.len(), 3);
+        assert_eq!(mssd.queries()[0].total_frequency(), 50);
+    }
+
+    #[test]
+    fn uniform_env_uses_uniform_generator() {
+        let cfg = BenchConfig {
+            population: 1_000,
+            uniform: true,
+            machines: 1,
+            splits: 2,
+            ..BenchConfig::default()
+        };
+        let env = BenchEnv::new(cfg);
+        assert_eq!(env.data.len(), 1_000);
+    }
+}

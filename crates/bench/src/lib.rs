@@ -1,0 +1,28 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§6).
+//!
+//! Each binary in `src/bin/` reproduces one artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1_dataset` | Table 1 — attribute distributions |
+//! | `table2_cost_ratio` | Table 2 — cost(MR-CPS)/cost(MR-MQE) |
+//! | `fig6_sharing` | Figure 6 — sharing-degree histogram |
+//! | `fig7_running_times` | Figure 7 — running times vs. slaves |
+//! | `fig8_lp_times` | Figure 8 — LP formulation/solve times |
+//! | `optimality` | §6.2.2 — residuals and `C_LP ≤ C_IP ≤ C_A` |
+//!
+//! Scale knobs come from environment variables so the full paper-scale
+//! runs and quick smoke runs share one binary:
+//!
+//! * `STRATMR_POP` — population size (default 100 000)
+//! * `STRATMR_RUNS` — repetitions for averaged statistics (default 20)
+//! * `STRATMR_SCALES` — comma-separated sample sizes (default `100,1000,10000`)
+
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod report;
+
+pub use env::{BenchConfig, BenchEnv};
+pub use report::{fmt_duration_s, Table};

@@ -1,0 +1,132 @@
+//! Plain-text table rendering and JSON experiment records.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[c]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a duration in seconds compactly (`ms` below one second).
+pub fn fmt_duration_s(secs: f64) -> String {
+    if secs >= 100.0 {
+        format!("{secs:.0} s")
+    } else if secs >= 1.0 {
+        format!("{secs:.1} s")
+    } else {
+        format!("{:.1} ms", secs * 1e3)
+    }
+}
+
+/// Write an experiment record as JSON under `target/experiments/`, so
+/// EXPERIMENTS.md entries are backed by machine-readable data.
+pub fn write_record<T: Serialize>(name: &str, record: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["group", "ratio"]);
+        t.row(vec!["Small".into(), "62%".into()]);
+        t.row(vec!["Medium".into(), "51%".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("group"));
+        assert!(lines[2].ends_with("62%"));
+        // all rows same width
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_rejected() {
+        Table::new(&["a", "b"]).row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration_s(0.0123), "12.3 ms");
+        assert_eq!(fmt_duration_s(2.5), "2.5 s");
+        assert_eq!(fmt_duration_s(125.0), "125 s");
+    }
+
+    #[test]
+    fn record_write_round_trips() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: u32,
+        }
+        let path = write_record("unit-test-record", &R { x: 7 }).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"x\": 7"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Linear/integer program model.
+//!
+//! Problems are minimization problems over non-negative variables with
+//! linear constraints — exactly the shape of the paper's Figure 3 integer
+//! program (equivalence equality constraints, upper-bound ≤ constraints,
+//! cost-minimizing objective).
+
+use std::fmt;
+
+/// Index of a decision variable.
+pub type VarId = usize;
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ a_i x_i ≤ b`
+    Le,
+    /// `Σ a_i x_i ≥ b`
+    Ge,
+    /// `Σ a_i x_i = b`
+    Eq,
+}
+
+/// One linear constraint with sparse coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// `(variable, coefficient)` pairs; unmentioned variables have
+    /// coefficient zero.
+    pub coeffs: Vec<(VarId, f64)>,
+    /// The relation between the linear form and `rhs`.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimization problem `min c·x  s.t.  A x {≤,=,≥} b,  x ≥ 0`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Problem {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// An empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable with objective coefficient `cost`; returns its id.
+    pub fn add_var(&mut self, cost: f64) -> VarId {
+        self.objective.push(cost);
+        self.objective.len() - 1
+    }
+
+    /// Add a constraint `Σ coeffs ≤/≥/= rhs`.
+    ///
+    /// # Panics
+    /// Panics if a coefficient references an unknown variable.
+    pub fn add_constraint(&mut self, coeffs: Vec<(VarId, f64)>, relation: Relation, rhs: f64) {
+        for &(v, _) in &coeffs {
+            assert!(v < self.objective.len(), "unknown variable {v}");
+        }
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Objective value of a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Is `x` feasible within tolerance `tol` (non-negativity and every
+    /// constraint)?
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n_vars() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|&(v, a)| a * x[v]).sum();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+/// A solved program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal variable assignment.
+    pub values: Vec<f64>,
+}
+
+/// Why a program could not be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The pivot-iteration budget was exhausted (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        assert_eq!(p.n_vars(), 2);
+        assert_eq!(p.n_constraints(), 1);
+        assert_eq!(p.objective_value(&[1.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.0);
+        p.add_constraint(vec![(y, 1.0)], Relation::Eq, 2.0);
+        assert!(p.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(p.is_feasible(&[2.0, 2.0], 1e-9));
+        assert!(!p.is_feasible(&[0.5, 2.0], 1e-9)); // x >= 1 violated
+        assert!(!p.is_feasible(&[1.0, 1.0], 1e-9)); // y = 2 violated
+        assert!(!p.is_feasible(&[3.0, 2.0], 1e-9)); // sum <= 4 violated
+        assert!(!p.is_feasible(&[-1.0, 2.0], 1e-9)); // negativity
+        assert!(!p.is_feasible(&[1.0], 1e-9)); // arity
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_on_unknown_var_rejected() {
+        let mut p = Problem::new();
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0);
+    }
+}

@@ -1,0 +1,726 @@
+//! The simulated cluster: executes jobs and accounts their cost.
+//!
+//! Execution is *real* — every map, combine and reduce function actually
+//! runs, in parallel across worker threads when cores allow — while
+//! *time* is simulated with the [`CostConfig`] model so scalability
+//! experiments are reproducible on any host (see DESIGN.md,
+//! substitution 1).
+//!
+//! Scheduling model:
+//! * one map task per input split, placed on the split's home machine;
+//! * intermediate keys are hash-partitioned into `reduce_tasks`
+//!   partitions; reduce task `p` runs on machine `p % machines`;
+//! * tasks on one machine run serially, machines run in parallel, and
+//!   the phases (map+combine → shuffle → reduce) are barriers, so the
+//!   simulated makespan is
+//!   `job_overhead + max_machine(map work) + max_partition(shuffle) +
+//!    max_machine(reduce work)`.
+
+use crate::cost::{CostConfig, SimTime};
+use crate::job::{mix_seed, CombineJob, Emitter, Job, NoCombiner, TaskCtx};
+use crate::split::InputSplit;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Record/byte counters and timings of one executed job.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Input records consumed by the map phase.
+    pub map_input_records: u64,
+    /// Intermediate pairs emitted by the map phase.
+    pub map_output_records: u64,
+    /// `(key, value)` pairs leaving combiners (one per task×key).
+    pub combine_output_pairs: u64,
+    /// Bytes crossing the simulated network in the shuffle.
+    pub shuffle_bytes: u64,
+    /// Values consumed by the reduce phase.
+    pub reduce_input_values: u64,
+    /// Number of distinct keys reduced.
+    pub distinct_keys: u64,
+    /// Map tasks executed (one per input split).
+    pub map_tasks: u64,
+    /// Reduce tasks executed (one per partition).
+    pub reduce_tasks: u64,
+    /// Map-task attempts that failed and were retried.
+    pub map_task_retries: u64,
+    /// Reduce-task attempts that failed and were retried.
+    pub reduce_task_retries: u64,
+    /// Simulated time breakdown.
+    pub sim: SimTime,
+    /// Real wall-clock execution time in seconds (host-dependent;
+    /// reported for reference only).
+    pub wall_secs: f64,
+}
+
+/// Result of a job: per-key outputs plus execution statistics.
+#[derive(Debug, Clone)]
+pub struct JobOutput<K, O> {
+    /// One `(key, reduce output)` pair per distinct intermediate key,
+    /// in deterministic (partition, first-arrival) order.
+    pub results: Vec<(K, O)>,
+    /// Execution statistics.
+    pub stats: JobStats,
+}
+
+/// A simulated cluster of worker machines.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    machines: usize,
+    reduce_tasks: usize,
+    costs: CostConfig,
+    /// Per-machine slowness factor (1.0 = nominal); lets experiments
+    /// model heterogeneous fleets and stragglers.
+    speeds: Vec<f64>,
+    /// Probability that any task attempt fails and is retried.
+    failure_prob: f64,
+}
+
+impl Cluster {
+    /// A cluster of `machines` identical workers with default costs and
+    /// one reduce task per machine.
+    pub fn new(machines: usize) -> Self {
+        assert!(machines > 0, "cluster needs at least one machine");
+        Self {
+            machines,
+            reduce_tasks: machines,
+            costs: CostConfig::default(),
+            speeds: vec![1.0; machines],
+            failure_prob: 0.0,
+        }
+    }
+
+    /// Override the cost model.
+    pub fn with_costs(mut self, costs: CostConfig) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Override the number of reduce tasks.
+    pub fn with_reduce_tasks(mut self, reduce_tasks: usize) -> Self {
+        assert!(reduce_tasks > 0, "need at least one reduce task");
+        self.reduce_tasks = reduce_tasks;
+        self
+    }
+
+    /// Set per-machine slowness factors: a task on machine `m` takes
+    /// `factors[m]` times its nominal simulated time. Factors must be
+    /// positive; `1.0` is nominal, `2.0` is half speed.
+    ///
+    /// # Panics
+    /// Panics if the length differs from the machine count or a factor
+    /// is not positive.
+    pub fn with_machine_slowness(mut self, factors: Vec<f64>) -> Self {
+        assert_eq!(factors.len(), self.machines, "one factor per machine");
+        assert!(factors.iter().all(|&f| f > 0.0), "factors must be positive");
+        self.speeds = factors;
+        self
+    }
+
+    /// Inject task failures: each task *attempt* fails independently
+    /// with probability `prob` and is retried, exactly as Hadoop re-runs
+    /// failed tasks. Failures are deterministic in the job seed, and a
+    /// retry re-executes the task with the same task seed, so job
+    /// *results* are identical with and without failures — only the
+    /// simulated time and the retry counters change.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 ≤ prob < 1.0`.
+    pub fn with_failures(mut self, prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&prob), "prob must be in [0, 1)");
+        self.failure_prob = prob;
+        self
+    }
+
+    /// Number of failed attempts before task `task_id` of phase `phase`
+    /// succeeds (deterministic in the job seed).
+    fn failed_attempts(&self, job_seed: u64, phase: u64, task_id: usize) -> u32 {
+        if self.failure_prob == 0.0 {
+            return 0;
+        }
+        let threshold = (self.failure_prob * u32::MAX as f64) as u64;
+        let mut failures = 0;
+        while failures < 16 {
+            let roll = mix_seed(
+                mix_seed(job_seed, 0xFA11 ^ phase),
+                ((task_id as u64) << 8) | failures as u64,
+            ) & 0xFFFF_FFFF;
+            if roll >= threshold {
+                break;
+            }
+            failures += 1;
+        }
+        failures
+    }
+
+    /// Number of worker machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// The active cost model.
+    pub fn costs(&self) -> &CostConfig {
+        &self.costs
+    }
+
+    /// Run a combiner-less job.
+    pub fn run<J: Job>(
+        &self,
+        job: &J,
+        splits: &[InputSplit<J::Input>],
+        seed: u64,
+    ) -> JobOutput<J::Key, J::ReduceOut>
+    where
+        J::MapOut: Send + Sync,
+        J::ReduceOut: Send,
+    {
+        self.run_with_combiner(&NoCombiner(job), splits, seed)
+    }
+
+    /// Run a job with a combiner.
+    pub fn run_with_combiner<J: CombineJob>(
+        &self,
+        job: &J,
+        splits: &[InputSplit<J::Input>],
+        seed: u64,
+    ) -> JobOutput<J::Key, J::ReduceOut>
+    where
+        J::CombOut: Send + Sync,
+        J::ReduceOut: Send,
+    {
+        let start = Instant::now();
+        let costs = &self.costs;
+
+        // ---- map + combine phase: one task per split -------------------
+        struct MapTaskOut<K, C> {
+            machine: usize,
+            combined: Vec<(K, C)>,
+            in_records: u64,
+            out_records: u64,
+            map_us: f64,
+            combine_us: f64,
+        }
+
+        let tasks: Vec<MapTaskOut<J::Key, J::CombOut>> = splits
+            .par_iter()
+            .map(|split| {
+                let task_seed = mix_seed(seed, split.id as u64);
+                let ctx = TaskCtx {
+                    job_seed: seed,
+                    task_id: split.id,
+                    machine: split.home_machine,
+                    seed: task_seed,
+                };
+                let mut emitter = Emitter::new();
+                let mut scan_bytes = 0u64;
+                let map_clock = Instant::now();
+                for record in &split.records {
+                    scan_bytes += job.input_bytes(record);
+                    job.map(&ctx, record, &mut emitter);
+                }
+                let map_real_us = map_clock.elapsed().as_secs_f64() * 1e6;
+                let in_records = split.records.len() as u64;
+                let pairs = emitter.into_pairs();
+                let out_records = pairs.len() as u64;
+
+                // group by key, preserving first-emit order so combiner
+                // seeds (and thus whole runs) are deterministic
+                let combine_clock = Instant::now();
+                let mut index: HashMap<J::Key, usize> = HashMap::new();
+                let mut groups: Vec<(J::Key, Vec<J::MapOut>)> = Vec::new();
+                for (k, v) in pairs {
+                    match index.get(&k) {
+                        Some(&g) => groups[g].1.push(v),
+                        None => {
+                            index.insert(k.clone(), groups.len());
+                            groups.push((k, vec![v]));
+                        }
+                    }
+                }
+
+                let combined: Vec<(J::Key, J::CombOut)> = groups
+                    .into_iter()
+                    .enumerate()
+                    .map(|(gi, (k, vs))| {
+                        let cctx = TaskCtx {
+                            seed: mix_seed(task_seed, gi as u64 + 1),
+                            ..ctx
+                        };
+                        let c = job.combine(&cctx, &k, &mut vs.into_iter());
+                        (k, c)
+                    })
+                    .collect();
+                let combine_real_us = combine_clock.elapsed().as_secs_f64() * 1e6;
+
+                let mut map_us = costs.task_overhead_us
+                    + scan_bytes as f64 * costs.scan_us_per_byte
+                    + in_records as f64 * costs.map_cpu_us_per_record
+                    + map_real_us * costs.cpu_slowdown;
+                let combine_us = if job.has_combiner() {
+                    out_records as f64 * costs.combine_cpu_us_per_record
+                        + combine_real_us * costs.cpu_slowdown
+                } else {
+                    // no combiner: the sort/spill work is part of the
+                    // map-side machinery
+                    map_us += combine_real_us * costs.cpu_slowdown;
+                    0.0
+                };
+                MapTaskOut {
+                    machine: split.home_machine,
+                    combined,
+                    in_records,
+                    out_records,
+                    map_us,
+                    combine_us,
+                }
+            })
+            .collect();
+
+        let mut stats = JobStats {
+            map_tasks: splits.len() as u64,
+            reduce_tasks: self.reduce_tasks as u64,
+            ..JobStats::default()
+        };
+        let mut machine_map_us = vec![0.0f64; self.machines];
+        for (task_id, t) in tasks.iter().enumerate() {
+            stats.map_input_records += t.in_records;
+            stats.map_output_records += t.out_records;
+            stats.combine_output_pairs += t.combined.len() as u64;
+            // a failed attempt wastes (on average) half the task's work
+            // plus a full startup overhead before the retry succeeds
+            let retries = self.failed_attempts(seed, 0, task_id) as f64;
+            let retry_us = retries * (costs.task_overhead_us + 0.5 * (t.map_us + t.combine_us));
+            stats.map_task_retries += retries as u64;
+            stats.sim.map_us += t.map_us + retry_us;
+            stats.sim.combine_us += t.combine_us;
+            let m = t.machine % self.machines;
+            machine_map_us[m] += (t.map_us + t.combine_us + retry_us) * self.speeds[m];
+        }
+
+        // ---- shuffle: hash-partition combiner outputs ------------------
+        let mut partitions: Vec<Vec<(J::Key, J::CombOut)>> =
+            (0..self.reduce_tasks).map(|_| Vec::new()).collect();
+        let mut partition_bytes = vec![0u64; self.reduce_tasks];
+        for task in tasks {
+            for (k, c) in task.combined {
+                let p = partition_of(&k, self.reduce_tasks);
+                let b = job.comb_bytes(&k, &c);
+                partition_bytes[p] += b;
+                stats.shuffle_bytes += b;
+                partitions[p].push((k, c));
+            }
+        }
+        stats.sim.shuffle_us = stats.shuffle_bytes as f64 * costs.network_us_per_byte;
+        let shuffle_makespan = partition_bytes
+            .iter()
+            .map(|&b| b as f64 * costs.network_us_per_byte)
+            .fold(0.0f64, f64::max);
+
+        // ---- reduce phase: one task per partition ----------------------
+        // (machine, per-key outputs, values consumed, simulated µs)
+        type ReduceTaskOut<K, O> = (usize, Vec<(K, O)>, u64, f64);
+        let reduce_outs: Vec<ReduceTaskOut<J::Key, J::ReduceOut>> = partitions
+            .into_par_iter()
+            .enumerate()
+            .map(|(p, pairs)| {
+                let machine = p % self.machines;
+                let reduce_clock = Instant::now();
+                // group by key, preserving arrival order
+                let mut index: HashMap<J::Key, usize> = HashMap::new();
+                let mut groups: Vec<(J::Key, Vec<J::CombOut>)> = Vec::new();
+                let mut n_values = 0u64;
+                for (k, c) in pairs {
+                    n_values += 1;
+                    match index.get(&k) {
+                        Some(&g) => groups[g].1.push(c),
+                        None => {
+                            index.insert(k.clone(), groups.len());
+                            groups.push((k, vec![c]));
+                        }
+                    }
+                }
+                let base_seed = mix_seed(seed, 0x5ED0_C000_0000_0000 | p as u64);
+                let results: Vec<(J::Key, J::ReduceOut)> = groups
+                    .into_iter()
+                    .enumerate()
+                    .map(|(gi, (k, cs))| {
+                        let ctx = TaskCtx {
+                            job_seed: seed,
+                            task_id: p,
+                            machine,
+                            seed: mix_seed(base_seed, gi as u64),
+                        };
+                        let o = job.reduce(&ctx, &k, cs);
+                        (k, o)
+                    })
+                    .collect();
+                let us = costs.task_overhead_us
+                    + n_values as f64 * costs.reduce_cpu_us_per_record
+                    + reduce_clock.elapsed().as_secs_f64() * 1e6 * costs.cpu_slowdown;
+                (machine, results, n_values, us)
+            })
+            .collect();
+
+        let mut machine_reduce_us = vec![0.0f64; self.machines];
+        let mut results = Vec::new();
+        for (task_id, (machine, outs, n_values, us)) in reduce_outs.into_iter().enumerate() {
+            stats.reduce_input_values += n_values;
+            stats.distinct_keys += outs.len() as u64;
+            let retries = self.failed_attempts(seed, 1, task_id) as f64;
+            let retry_us = retries * (costs.task_overhead_us + 0.5 * us);
+            stats.reduce_task_retries += retries as u64;
+            stats.sim.reduce_us += us + retry_us;
+            machine_reduce_us[machine] += (us + retry_us) * self.speeds[machine];
+            results.extend(outs);
+        }
+
+        stats.sim.makespan_us = costs.job_overhead_us
+            + machine_map_us.iter().copied().fold(0.0, f64::max)
+            + shuffle_makespan
+            + machine_reduce_us.iter().copied().fold(0.0, f64::max);
+        stats.wall_secs = start.elapsed().as_secs_f64();
+
+        JobOutput { results, stats }
+    }
+}
+
+/// Deterministic hash partitioner (SipHash with the fixed default keys —
+/// stable across runs and threads).
+fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % parts as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::make_splits;
+
+    /// Classic word count, no combiner.
+    struct WordCount;
+
+    impl Job for WordCount {
+        type Input = String;
+        type Key = String;
+        type MapOut = u64;
+        type ReduceOut = u64;
+
+        fn map(&self, _ctx: &TaskCtx, record: &String, out: &mut Emitter<String, u64>) {
+            for w in record.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        }
+
+        fn reduce(&self, _ctx: &TaskCtx, _key: &String, values: Vec<u64>) -> u64 {
+            values.into_iter().sum()
+        }
+
+        fn pair_bytes(&self, key: &String, _v: &u64) -> u64 {
+            key.len() as u64 + 8
+        }
+    }
+
+    /// Word count with a summing combiner.
+    struct WordCountCombined;
+
+    impl CombineJob for WordCountCombined {
+        type Input = String;
+        type Key = String;
+        type MapOut = u64;
+        type CombOut = u64;
+        type ReduceOut = u64;
+
+        fn map(&self, _ctx: &TaskCtx, record: &String, out: &mut Emitter<String, u64>) {
+            for w in record.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        }
+
+        fn combine(
+            &self,
+            _ctx: &TaskCtx,
+            _key: &String,
+            values: &mut dyn Iterator<Item = u64>,
+        ) -> u64 {
+            values.sum()
+        }
+
+        fn reduce(&self, _ctx: &TaskCtx, _key: &String, values: Vec<u64>) -> u64 {
+            values.into_iter().sum()
+        }
+
+        fn comb_bytes(&self, key: &String, _v: &u64) -> u64 {
+            key.len() as u64 + 8
+        }
+    }
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "a b a".to_string(),
+            "b c".to_string(),
+            "a c c c".to_string(),
+            "d".to_string(),
+        ]
+    }
+
+    fn counts_of(results: &[(String, u64)]) -> HashMap<String, u64> {
+        results.iter().cloned().collect()
+    }
+
+    #[test]
+    fn word_count_without_combiner() {
+        let cluster = Cluster::new(3).with_costs(CostConfig::zero_overhead());
+        let splits = make_splits(corpus(), 4, 3);
+        let out = cluster.run(&WordCount, &splits, 1);
+        let counts = counts_of(&out.results);
+        assert_eq!(counts["a"], 3);
+        assert_eq!(counts["b"], 2);
+        assert_eq!(counts["c"], 4);
+        assert_eq!(counts["d"], 1);
+        assert_eq!(out.stats.map_input_records, 4);
+        assert_eq!(out.stats.map_output_records, 10);
+        assert_eq!(out.stats.distinct_keys, 4);
+    }
+
+    #[test]
+    fn combiner_gives_same_answer_with_less_shuffle() {
+        let costs = CostConfig::zero_overhead();
+        let cluster = Cluster::new(2).with_costs(costs);
+        let splits = make_splits(corpus(), 2, 2);
+        let plain = cluster.run(&WordCount, &splits, 7);
+        let combined = cluster.run_with_combiner(&WordCountCombined, &splits, 7);
+        assert_eq!(counts_of(&plain.results), counts_of(&combined.results));
+        assert!(
+            combined.stats.shuffle_bytes < plain.stats.shuffle_bytes,
+            "combiner should reduce shuffle: {} vs {}",
+            combined.stats.shuffle_bytes,
+            plain.stats.shuffle_bytes
+        );
+        // each (task, key) yields exactly one combiner output
+        assert!(combined.stats.combine_output_pairs <= plain.stats.map_output_records);
+        // combiner CPU charged only when a combiner exists
+        assert_eq!(plain.stats.sim.combine_us, 0.0);
+        assert!(combined.stats.sim.combine_us > 0.0);
+    }
+
+    #[test]
+    fn results_are_deterministic_given_seed() {
+        let cluster = Cluster::new(4);
+        let splits = make_splits(corpus(), 3, 4);
+        let a = cluster.run(&WordCount, &splits, 99);
+        let b = cluster.run(&WordCount, &splits, 99);
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn makespan_shrinks_with_more_machines() {
+        // a scan-heavy job: 64 splits of large records
+        struct Scan;
+        impl Job for Scan {
+            type Input = u64;
+            type Key = u8;
+            type MapOut = u64;
+            type ReduceOut = u64;
+            fn map(&self, _c: &TaskCtx, r: &u64, out: &mut Emitter<u8, u64>) {
+                out.emit((*r % 4) as u8, *r);
+            }
+            fn reduce(&self, _c: &TaskCtx, _k: &u8, v: Vec<u64>) -> u64 {
+                v.into_iter().sum()
+            }
+            fn input_bytes(&self, _r: &u64) -> u64 {
+                100_000
+            }
+            fn pair_bytes(&self, _k: &u8, _v: &u64) -> u64 {
+                16
+            }
+        }
+        let records: Vec<u64> = (0..4096).collect();
+        let mut prev = f64::INFINITY;
+        for machines in [1usize, 5, 10] {
+            let cluster = Cluster::new(machines);
+            let splits = make_splits(records.clone(), 64, machines);
+            let out = cluster.run(&Scan, &splits, 0);
+            let mk = out.stats.sim.makespan_us;
+            assert!(
+                mk < prev,
+                "makespan should shrink with machines: {mk} !< {prev}"
+            );
+            prev = mk;
+        }
+    }
+
+    #[test]
+    fn scan_dominated_makespan_scales_nearly_linearly() {
+        struct Scan;
+        impl Job for Scan {
+            type Input = u64;
+            type Key = u8;
+            type MapOut = u64;
+            type ReduceOut = u64;
+            fn map(&self, _c: &TaskCtx, r: &u64, out: &mut Emitter<u8, u64>) {
+                out.emit(0, *r);
+            }
+            fn reduce(&self, _c: &TaskCtx, _k: &u8, v: Vec<u64>) -> u64 {
+                v.len() as u64
+            }
+            fn input_bytes(&self, _r: &u64) -> u64 {
+                1_000_000
+            }
+        }
+        let records: Vec<u64> = (0..1000).collect();
+        let zero = CostConfig {
+            task_overhead_us: 0.0,
+            job_overhead_us: 0.0,
+            network_us_per_byte: 0.0,
+            reduce_cpu_us_per_record: 0.0,
+            ..CostConfig::default()
+        };
+        let run = |machines: usize| {
+            let cluster = Cluster::new(machines).with_costs(zero);
+            let splits = make_splits(records.clone(), machines * 4, machines);
+            cluster.run(&Scan, &splits, 0).stats.sim.makespan_us
+        };
+        let m1 = run(1);
+        let m10 = run(10);
+        let speedup = m1 / m10;
+        assert!(
+            (8.0..=10.5).contains(&speedup),
+            "expected near-linear speedup, got {speedup}"
+        );
+    }
+
+    #[test]
+    fn reduce_partition_placement_is_stable() {
+        // keys must land in the same partition regardless of machine count
+        // changes? No — partition count changes partitioning. But two runs
+        // with identical config must agree bit-for-bit.
+        let cluster = Cluster::new(2).with_reduce_tasks(5);
+        let splits = make_splits(corpus(), 2, 2);
+        let a = cluster.run(&WordCount, &splits, 3);
+        let b = cluster.run(&WordCount, &splits, 3);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.stats.shuffle_bytes, b.stats.shuffle_bytes);
+    }
+
+    #[test]
+    fn straggler_dominates_makespan() {
+        struct Scan;
+        impl Job for Scan {
+            type Input = u64;
+            type Key = u8;
+            type MapOut = u64;
+            type ReduceOut = u64;
+            fn map(&self, _c: &TaskCtx, r: &u64, out: &mut Emitter<u8, u64>) {
+                out.emit(0, *r);
+            }
+            fn reduce(&self, _c: &TaskCtx, _k: &u8, v: Vec<u64>) -> u64 {
+                v.len() as u64
+            }
+            fn input_bytes(&self, _r: &u64) -> u64 {
+                500_000
+            }
+        }
+        let records: Vec<u64> = (0..400).collect();
+        let splits = make_splits(records, 8, 4);
+        let uniform = Cluster::new(4).run(&Scan, &splits, 0).stats.sim.makespan_us;
+        let straggling = Cluster::new(4)
+            .with_machine_slowness(vec![1.0, 1.0, 1.0, 3.0])
+            .run(&Scan, &splits, 0)
+            .stats
+            .sim
+            .makespan_us;
+        // one machine at 1/3 speed holds the whole job back (fixed job
+        // overhead dampens the ratio below the full 3×)
+        assert!(
+            straggling > uniform * 1.5,
+            "straggler ignored: {straggling} vs {uniform}"
+        );
+    }
+
+    #[test]
+    fn failures_change_time_but_not_results() {
+        let splits = make_splits(corpus(), 4, 2);
+        let clean = Cluster::new(2);
+        // high failure rate so retries certainly occur
+        let flaky = Cluster::new(2).with_failures(0.4);
+        let a = clean.run(&WordCount, &splits, 11);
+        let b = flaky.run(&WordCount, &splits, 11);
+        assert_eq!(
+            counts_of(&a.results),
+            counts_of(&b.results),
+            "retries must not change results"
+        );
+        assert!(
+            b.stats.map_task_retries + b.stats.reduce_task_retries > 0,
+            "expected some retries at p = 0.4"
+        );
+        assert!(
+            b.stats.sim.makespan_us > a.stats.sim.makespan_us,
+            "retries must cost simulated time"
+        );
+        assert_eq!(a.stats.map_task_retries, 0);
+    }
+
+    #[test]
+    fn failure_injection_is_deterministic() {
+        let splits = make_splits(corpus(), 3, 2);
+        let flaky = Cluster::new(2).with_failures(0.3);
+        let a = flaky.run(&WordCount, &splits, 5);
+        let b = flaky.run(&WordCount, &splits, 5);
+        assert_eq!(a.stats.map_task_retries, b.stats.map_task_retries);
+        assert_eq!(a.stats.map_task_retries + a.stats.reduce_task_retries,
+                   b.stats.map_task_retries + b.stats.reduce_task_retries);
+    }
+
+    #[test]
+    #[should_panic(expected = "prob must be in [0, 1)")]
+    fn failure_prob_validated() {
+        let _ = Cluster::new(1).with_failures(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one factor per machine")]
+    fn slowness_arity_checked() {
+        let _ = Cluster::new(3).with_machine_slowness(vec![1.0]);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let cluster = Cluster::new(2);
+        let splits: Vec<InputSplit<String>> = make_splits(vec![], 2, 2);
+        let out = cluster.run(&WordCount, &splits, 0);
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.map_input_records, 0);
+        assert_eq!(out.stats.distinct_keys, 0);
+    }
+
+    #[test]
+    fn task_ctx_seeds_differ_across_groups() {
+        use std::sync::Mutex;
+        struct SeedSpy(Mutex<Vec<u64>>);
+        impl Job for &SeedSpy {
+            type Input = u64;
+            type Key = u64;
+            type MapOut = u64;
+            type ReduceOut = ();
+            fn map(&self, _c: &TaskCtx, r: &u64, out: &mut Emitter<u64, u64>) {
+                out.emit(*r, *r);
+            }
+            fn reduce(&self, ctx: &TaskCtx, _k: &u64, _v: Vec<u64>) {
+                self.0.lock().unwrap().push(ctx.seed);
+            }
+        }
+        let spy = SeedSpy(Mutex::new(Vec::new()));
+        let cluster = Cluster::new(1);
+        let splits = make_splits((0..20).collect(), 2, 1);
+        cluster.run(&&spy, &splits, 5);
+        let mut seeds = spy.0.into_inner().unwrap();
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "reduce seeds must be unique per key");
+    }
+}

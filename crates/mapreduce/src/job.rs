@@ -1,0 +1,224 @@
+//! Job traits: the map / combine / reduce contract.
+//!
+//! A MapReduce program (Dean & Ghemawat) specifies a *map* function
+//! producing intermediate key-value pairs and a *reduce* function merging
+//! all values of one intermediate key. An optional *combiner* performs a
+//! partial, map-side aggregation before pairs are sent over the network —
+//! the mechanism MR-SQE exploits to ship intermediate samples instead of
+//! whole strata.
+//!
+//! Unlike Hadoop, the combiner here may change the value type
+//! (`MapOut → CombOut`), because the paper's combiner output
+//! `(S̄, N̄)` — an intermediate sample annotated with the size of the set
+//! it was drawn from — is structurally different from a single tuple.
+
+use std::hash::Hash;
+
+/// Deterministic per-task context handed to every user function.
+///
+/// Engine-provided randomness is exposed only as a seed, so jobs that
+/// sample can build their own deterministic RNG; the whole job is then a
+/// pure function of `(input, job seed)`.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCtx {
+    /// The seed passed to [`Cluster::run`](crate::Cluster::run).
+    pub job_seed: u64,
+    /// Input split id (map side) or reduce partition id (reduce side).
+    pub task_id: usize,
+    /// The machine executing this task.
+    pub machine: usize,
+    /// A seed unique to this (job, task, key-group) invocation.
+    pub seed: u64,
+}
+
+/// Collects the key-value pairs emitted by one map task.
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    pub(crate) fn new() -> Self {
+        Self { pairs: Vec::new() }
+    }
+
+    /// Emit one intermediate pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    pub(crate) fn into_pairs(self) -> Vec<(K, V)> {
+        self.pairs
+    }
+}
+
+/// A MapReduce job with a combiner.
+///
+/// `map` is invoked once per input record; `combine` once per
+/// `(map task, key)` with all values that task emitted for the key;
+/// `reduce` once per key with the combined values from every map task.
+pub trait CombineJob: Send + Sync {
+    /// Input record type.
+    type Input: Send + Sync;
+    /// Intermediate key.
+    type Key: Clone + Eq + Hash + Send + Sync;
+    /// Map output value.
+    type MapOut: Send;
+    /// Combiner output value (what actually crosses the network).
+    type CombOut: Send;
+    /// Final per-key result.
+    type ReduceOut: Send;
+
+    /// Process one input record, emitting intermediate pairs.
+    fn map(&self, ctx: &TaskCtx, record: &Self::Input, out: &mut Emitter<Self::Key, Self::MapOut>);
+
+    /// Map-side partial aggregation of one key's values within one task.
+    ///
+    /// Values arrive as a streaming iterator: a faithful combiner (e.g. a
+    /// reservoir) keeps only O(sample) state regardless of input size.
+    fn combine(
+        &self,
+        ctx: &TaskCtx,
+        key: &Self::Key,
+        values: &mut dyn Iterator<Item = Self::MapOut>,
+    ) -> Self::CombOut;
+
+    /// Merge one key's combined values from all map tasks.
+    fn reduce(&self, ctx: &TaskCtx, key: &Self::Key, values: Vec<Self::CombOut>) -> Self::ReduceOut;
+
+    /// Simulated record size scanned from the backing store per input
+    /// record (drives the cost model's map-phase disk time).
+    fn input_bytes(&self, _record: &Self::Input) -> u64 {
+        0
+    }
+
+    /// Simulated wire size of one combiner output pair (drives the cost
+    /// model's shuffle time).
+    fn comb_bytes(&self, _key: &Self::Key, _value: &Self::CombOut) -> u64 {
+        0
+    }
+
+    /// Whether the job really has a combiner; the engine charges combiner
+    /// CPU only when true. (The [`Job`] adapter reports `false`.)
+    fn has_combiner(&self) -> bool {
+        true
+    }
+}
+
+/// A plain MapReduce job without a combiner (e.g. the naive sampler of
+/// Figure 1, where every matching tuple crosses the network).
+pub trait Job: Send + Sync {
+    /// Input record type.
+    type Input: Send + Sync;
+    /// Intermediate key.
+    type Key: Clone + Eq + Hash + Send + Sync;
+    /// Map output value.
+    type MapOut: Send;
+    /// Final per-key result.
+    type ReduceOut: Send;
+
+    /// Process one input record, emitting intermediate pairs.
+    fn map(&self, ctx: &TaskCtx, record: &Self::Input, out: &mut Emitter<Self::Key, Self::MapOut>);
+
+    /// Merge all values of one key.
+    fn reduce(&self, ctx: &TaskCtx, key: &Self::Key, values: Vec<Self::MapOut>) -> Self::ReduceOut;
+
+    /// See [`CombineJob::input_bytes`].
+    fn input_bytes(&self, _record: &Self::Input) -> u64 {
+        0
+    }
+
+    /// Simulated wire size of one intermediate pair.
+    fn pair_bytes(&self, _key: &Self::Key, _value: &Self::MapOut) -> u64 {
+        0
+    }
+}
+
+/// Adapter running a combiner-less [`Job`] on the combiner engine: the
+/// "combiner" passes values through untouched.
+pub(crate) struct NoCombiner<'a, J>(pub &'a J);
+
+impl<J: Job> CombineJob for NoCombiner<'_, J> {
+    type Input = J::Input;
+    type Key = J::Key;
+    type MapOut = J::MapOut;
+    type CombOut = Vec<J::MapOut>;
+    type ReduceOut = J::ReduceOut;
+
+    fn map(&self, ctx: &TaskCtx, record: &Self::Input, out: &mut Emitter<Self::Key, Self::MapOut>) {
+        self.0.map(ctx, record, out);
+    }
+
+    fn combine(
+        &self,
+        _ctx: &TaskCtx,
+        _key: &Self::Key,
+        values: &mut dyn Iterator<Item = Self::MapOut>,
+    ) -> Self::CombOut {
+        values.collect()
+    }
+
+    fn reduce(&self, ctx: &TaskCtx, key: &Self::Key, values: Vec<Self::CombOut>) -> Self::ReduceOut {
+        let flat: Vec<J::MapOut> = values.into_iter().flatten().collect();
+        self.0.reduce(ctx, key, flat)
+    }
+
+    fn input_bytes(&self, record: &Self::Input) -> u64 {
+        self.0.input_bytes(record)
+    }
+
+    fn comb_bytes(&self, key: &Self::Key, value: &Self::CombOut) -> u64 {
+        value.iter().map(|v| self.0.pair_bytes(key, v)).sum()
+    }
+
+    fn has_combiner(&self) -> bool {
+        false
+    }
+}
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer) used to derive
+/// per-task and per-group seeds from the job seed.
+#[inline]
+pub(crate) fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_collects_pairs_in_order() {
+        let mut e: Emitter<u32, &str> = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(1, "a");
+        e.emit(2, "b");
+        e.emit(1, "c");
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.into_pairs(), vec![(1, "a"), (2, "b"), (1, "c")]);
+    }
+
+    #[test]
+    fn mix_seed_is_deterministic_and_spreads() {
+        assert_eq!(mix_seed(1, 2), mix_seed(1, 2));
+        assert_ne!(mix_seed(1, 2), mix_seed(2, 1));
+        assert_ne!(mix_seed(0, 0), mix_seed(0, 1));
+        // consecutive inputs should differ in many bits
+        let d = (mix_seed(7, 1) ^ mix_seed(7, 2)).count_ones();
+        assert!(d > 10, "poor diffusion: {d} differing bits");
+    }
+}

@@ -1,0 +1,73 @@
+//! Input splits: the unit of map-task scheduling.
+
+/// A chunk of input records resident on one machine.
+///
+/// One map task is scheduled per split, on the split's home machine
+/// (data locality — the map phase never moves input bytes over the
+/// network, mirroring HDFS-local task placement).
+#[derive(Debug, Clone)]
+pub struct InputSplit<I> {
+    /// Split id, unique within a job's input.
+    pub id: usize,
+    /// The machine storing this split.
+    pub home_machine: usize,
+    /// The records of the split.
+    pub records: Vec<I>,
+}
+
+impl<I> InputSplit<I> {
+    /// Build a split.
+    pub fn new(id: usize, home_machine: usize, records: Vec<I>) -> Self {
+        Self {
+            id,
+            home_machine,
+            records,
+        }
+    }
+}
+
+/// Cut `records` into `n_splits` contiguous splits, assigning home
+/// machines round-robin over `machines`. Convenience for tests and small
+/// inputs; real datasets come pre-partitioned.
+pub fn make_splits<I>(records: Vec<I>, n_splits: usize, machines: usize) -> Vec<InputSplit<I>> {
+    assert!(n_splits > 0 && machines > 0);
+    let n = records.len();
+    let base = n / n_splits;
+    let extra = n % n_splits;
+    let mut out = Vec::with_capacity(n_splits);
+    let mut it = records.into_iter();
+    for id in 0..n_splits {
+        let take = base + usize::from(id < extra);
+        out.push(InputSplit::new(
+            id,
+            id % machines,
+            it.by_ref().take(take).collect(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_splits_covers_all_records() {
+        let splits = make_splits((0..10).collect(), 3, 2);
+        assert_eq!(splits.len(), 3);
+        let lens: Vec<usize> = splits.iter().map(|s| s.records.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+        let all: Vec<i32> = splits.iter().flat_map(|s| s.records.clone()).collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert_eq!(splits[0].home_machine, 0);
+        assert_eq!(splits[1].home_machine, 1);
+        assert_eq!(splits[2].home_machine, 0);
+    }
+
+    #[test]
+    fn more_splits_than_records_leaves_empties() {
+        let splits = make_splits(vec![1, 2], 4, 4);
+        assert_eq!(splits.len(), 4);
+        assert_eq!(splits.iter().map(|s| s.records.len()).sum::<usize>(), 2);
+    }
+}

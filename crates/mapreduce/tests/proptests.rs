@@ -1,0 +1,127 @@
+//! Property tests for the MapReduce engine: for arbitrary inputs, split
+//! shapes, cluster sizes and failure rates, a grouping-sum job must
+//! produce exactly the per-key sums of a sequential reference
+//! implementation — MapReduce semantics are deterministic dataflow, not
+//! approximation.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use stratmr_mapreduce::{
+    make_splits, Cluster, CombineJob, CostConfig, Emitter, Job, TaskCtx,
+};
+
+struct SumJob;
+
+impl Job for SumJob {
+    type Input = (u8, i64);
+    type Key = u8;
+    type MapOut = i64;
+    type ReduceOut = i64;
+    fn map(&self, _c: &TaskCtx, r: &(u8, i64), out: &mut Emitter<u8, i64>) {
+        out.emit(r.0, r.1);
+    }
+    fn reduce(&self, _c: &TaskCtx, _k: &u8, v: Vec<i64>) -> i64 {
+        v.into_iter().sum()
+    }
+    fn pair_bytes(&self, _k: &u8, _v: &i64) -> u64 {
+        9
+    }
+}
+
+struct SumJobCombined;
+
+impl CombineJob for SumJobCombined {
+    type Input = (u8, i64);
+    type Key = u8;
+    type MapOut = i64;
+    type CombOut = i64;
+    type ReduceOut = i64;
+    fn map(&self, _c: &TaskCtx, r: &(u8, i64), out: &mut Emitter<u8, i64>) {
+        out.emit(r.0, r.1);
+    }
+    fn combine(&self, _c: &TaskCtx, _k: &u8, v: &mut dyn Iterator<Item = i64>) -> i64 {
+        v.sum()
+    }
+    fn reduce(&self, _c: &TaskCtx, _k: &u8, v: Vec<i64>) -> i64 {
+        v.into_iter().sum()
+    }
+    fn comb_bytes(&self, _k: &u8, _v: &i64) -> u64 {
+        9
+    }
+}
+
+fn reference(records: &[(u8, i64)]) -> HashMap<u8, i64> {
+    let mut out = HashMap::new();
+    for &(k, v) in records {
+        *out.entry(k).or_insert(0) += v;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sums_match_sequential_reference(
+        records in prop::collection::vec((0u8..12, -100i64..100), 0..300),
+        machines in 1usize..8,
+        splits in 1usize..12,
+        reduce_tasks in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let cluster = Cluster::new(machines).with_reduce_tasks(reduce_tasks);
+        let split_vec = make_splits(records.clone(), splits, machines);
+        let plain = cluster.run(&SumJob, &split_vec, seed);
+        let combined = cluster.run_with_combiner(&SumJobCombined, &split_vec, seed);
+        let want = reference(&records);
+        let got_plain: HashMap<u8, i64> = plain.results.into_iter().collect();
+        let got_combined: HashMap<u8, i64> = combined.results.into_iter().collect();
+        prop_assert_eq!(&got_plain, &want);
+        prop_assert_eq!(&got_combined, &want);
+        // record accounting
+        prop_assert_eq!(plain.stats.map_input_records, records.len() as u64);
+        prop_assert_eq!(plain.stats.map_output_records, records.len() as u64);
+        prop_assert_eq!(got_plain.len() as u64, plain.stats.distinct_keys);
+    }
+
+    #[test]
+    fn failures_never_change_results(
+        records in prop::collection::vec((0u8..6, 0i64..50), 1..120),
+        prob in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let splits = make_splits(records.clone(), 4, 2);
+        // zero out the measured-CPU component so simulated times are
+        // exactly deterministic and comparable across runs
+        let costs = CostConfig {
+            cpu_slowdown: 0.0,
+            ..CostConfig::default()
+        };
+        let clean = Cluster::new(2).with_costs(costs).run(&SumJob, &splits, seed);
+        let flaky = Cluster::new(2)
+            .with_costs(costs)
+            .with_failures(prob)
+            .run(&SumJob, &splits, seed);
+        let a: HashMap<u8, i64> = clean.results.into_iter().collect();
+        let b: HashMap<u8, i64> = flaky.results.into_iter().collect();
+        prop_assert_eq!(a, b);
+        prop_assert!(flaky.stats.sim.makespan_us >= clean.stats.sim.makespan_us - 1e-6);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_overheads(
+        records in prop::collection::vec((0u8..4, 0i64..10), 1..100),
+        seed in any::<u64>(),
+    ) {
+        let splits = make_splits(records, 3, 3);
+        let cheap = Cluster::new(3).with_costs(CostConfig {
+            task_overhead_us: 0.0,
+            job_overhead_us: 0.0,
+            ..CostConfig::default()
+        });
+        let costly = Cluster::new(3).with_costs(CostConfig::default());
+        let a = cheap.run(&SumJob, &splits, seed);
+        let b = costly.run(&SumJob, &splits, seed);
+        prop_assert!(b.stats.sim.makespan_us > a.stats.sim.makespan_us);
+    }
+}

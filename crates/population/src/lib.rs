@@ -1,0 +1,43 @@
+//! Population substrate for the SIGMOD'14 stratified-sampling reproduction.
+//!
+//! This crate models the *dataset* side of the paper's framework (§3.1):
+//! a population is a set of individuals, each represented by a tuple of
+//! attribute values drawn from per-attribute domains. It provides
+//!
+//! * a [`Schema`]/[`Individual`] tuple model with numeric and categorical
+//!   attributes ([`schema`], [`individual`]),
+//! * inverse-CDF samplers for the **Dagum**, **Burr XII** and
+//!   **Power-Function** distributions used by the paper's Table 1
+//!   ([`dist`]),
+//! * the synthetic DBLP-like author generator reproducing Table 1
+//!   ([`dblp`]) and the uniform synthetic variant of §6.2.1 ([`uniform`]),
+//! * partitioned, machine-placed storage for distributed execution
+//!   ([`dataset`]).
+//!
+//! # Example
+//!
+//! ```
+//! use stratmr_population::dblp::{DblpGenerator, DblpConfig};
+//!
+//! let gen = DblpGenerator::new(DblpConfig::default());
+//! let data = gen.generate(1_000, 42);
+//! assert_eq!(data.len(), 1_000);
+//! let schema = DblpGenerator::schema();
+//! let nop = schema.attr_id("nop").unwrap();
+//! assert!(data.tuples().iter().all(|t| t.get(nop) >= 1 && t.get(nop) <= 699));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dblp;
+pub mod dist;
+pub mod export;
+pub mod graph;
+pub mod individual;
+pub mod schema;
+pub mod uniform;
+
+pub use dataset::{Dataset, DistributedDataset, Placement};
+pub use individual::Individual;
+pub use schema::{AttrDef, AttrId, AttrKind, Schema};

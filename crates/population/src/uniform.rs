@@ -1,0 +1,71 @@
+//! Uniform synthetic dataset of §6.2.1.
+//!
+//! "We created a synthetic dataset with the same set of users as those in
+//! DBLP and the same attributes as in Table 1, except that in this
+//! synthetic database, all the values were randomly chosen according to a
+//! uniform distribution (without any dependencies between the different
+//! attributes)."
+
+use crate::dataset::Dataset;
+use crate::dblp::DblpGenerator;
+use crate::individual::Individual;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generate `n` individuals whose attributes are uniform over the Table 1
+/// domains, independent of each other.
+pub fn generate_uniform(n: usize, seed: u64, payload_bytes: u32) -> Dataset {
+    let schema = DblpGenerator::schema();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let defs: Vec<(i64, i64)> = schema.iter().map(|(_, d)| (d.min, d.max)).collect();
+    let mut tuples = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        let values = defs
+            .iter()
+            .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+            .collect();
+        tuples.push(Individual::new(id, values, payload_bytes));
+    }
+    Dataset::new(schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_schema_as_dblp() {
+        let d = generate_uniform(100, 7, 0);
+        assert_eq!(*d.schema(), DblpGenerator::schema());
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn values_are_in_domain_and_roughly_uniform() {
+        let d = generate_uniform(20_000, 8, 0);
+        let s = d.schema();
+        let fy = s.attr_id("fy").unwrap();
+        let def = s.attr(fy);
+        let mid = (def.min + def.max) / 2;
+        let below = d.tuples().iter().filter(|t| t.get(fy) <= mid).count();
+        let frac = below as f64 / d.len() as f64;
+        assert!(
+            (0.45..=0.55).contains(&frac),
+            "uniform fy should split ~50/50 at midpoint, got {frac}"
+        );
+        for t in d.tuples() {
+            for (aid, def) in s.iter() {
+                let v = t.get(aid);
+                assert!(v >= def.min && v <= def.max);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(
+            generate_uniform(50, 1, 0).tuples(),
+            generate_uniform(50, 1, 0).tuples()
+        );
+    }
+}

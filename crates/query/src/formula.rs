@@ -1,0 +1,461 @@
+//! Propositional formulas in the style of domain relational calculus (§3.2.1).
+//!
+//! A stratum constraint's condition `ϕ` is a propositional formula over
+//! attribute comparisons using ∧ (conjunction), ∨ (disjunction) and
+//! ¬ (negation). For instance the paper's example
+//!
+//! ```text
+//! (gender = male ∧ yearly_income < 50000) ∨
+//! (gender = female ∧ yearly_income > 100000)
+//! ```
+//!
+//! is built as
+//!
+//! ```
+//! use stratmr_population::{AttrDef, Schema};
+//! use stratmr_query::Formula;
+//!
+//! let schema = Schema::new(vec![
+//!     AttrDef::categorical("gender", &["male", "female"]),
+//!     AttrDef::numeric("yearly_income", 0, 1_000_000),
+//! ]);
+//! let gender = schema.attr_id("gender").unwrap();
+//! let income = schema.attr_id("yearly_income").unwrap();
+//! let male = schema.encode_label(gender, "male").unwrap();
+//! let female = schema.encode_label(gender, "female").unwrap();
+//!
+//! let phi = Formula::eq(gender, male)
+//!     .and(Formula::lt(income, 50_000))
+//!     .or(Formula::eq(gender, female).and(Formula::gt(income, 100_000)));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use stratmr_population::{AttrId, Individual, Schema};
+
+/// Comparison operator of an atomic predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `attr = c`
+    Eq,
+    /// `attr ≠ c`
+    Ne,
+    /// `attr < c`
+    Lt,
+    /// `attr ≤ c`
+    Le,
+    /// `attr > c`
+    Gt,
+    /// `attr ≥ c`
+    Ge,
+}
+
+impl CmpOp {
+    #[inline]
+    fn apply(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        }
+    }
+}
+
+/// A propositional formula over attribute comparisons.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Formula {
+    /// Constant truth value; `True` is the neutral element of ∧ and
+    /// `False` of ∨.
+    Const(bool),
+    /// Atomic comparison `attr op constant`.
+    Atom(AttrId, CmpOp, i64),
+    /// Inclusive range predicate `lo ≤ attr ≤ hi` (a common special case —
+    /// the §6.1.2 subrange formulas — kept atomic for speed and display).
+    InRange(AttrId, i64, i64),
+    /// Conjunction of subformulas.
+    And(Vec<Formula>),
+    /// Disjunction of subformulas.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+}
+
+impl Formula {
+    /// `attr = c`
+    pub fn eq(attr: AttrId, c: i64) -> Self {
+        Formula::Atom(attr, CmpOp::Eq, c)
+    }
+    /// `attr ≠ c`
+    pub fn ne(attr: AttrId, c: i64) -> Self {
+        Formula::Atom(attr, CmpOp::Ne, c)
+    }
+    /// `attr < c`
+    pub fn lt(attr: AttrId, c: i64) -> Self {
+        Formula::Atom(attr, CmpOp::Lt, c)
+    }
+    /// `attr ≤ c`
+    pub fn le(attr: AttrId, c: i64) -> Self {
+        Formula::Atom(attr, CmpOp::Le, c)
+    }
+    /// `attr > c`
+    pub fn gt(attr: AttrId, c: i64) -> Self {
+        Formula::Atom(attr, CmpOp::Gt, c)
+    }
+    /// `attr ≥ c`
+    pub fn ge(attr: AttrId, c: i64) -> Self {
+        Formula::Atom(attr, CmpOp::Ge, c)
+    }
+    /// `lo ≤ attr ≤ hi` (inclusive on both ends).
+    pub fn between(attr: AttrId, lo: i64, hi: i64) -> Self {
+        Formula::InRange(attr, lo, hi)
+    }
+    /// The always-true formula.
+    pub fn tautology() -> Self {
+        Formula::Const(true)
+    }
+    /// The always-false formula.
+    pub fn contradiction() -> Self {
+        Formula::Const(false)
+    }
+
+    /// `self ∧ other`, flattening nested conjunctions.
+    pub fn and(self, other: Formula) -> Self {
+        match (self, other) {
+            (Formula::Const(true), f) | (f, Formula::Const(true)) => f,
+            (Formula::Const(false), _) | (_, Formula::Const(false)) => Formula::Const(false),
+            (Formula::And(mut a), Formula::And(b)) => {
+                a.extend(b);
+                Formula::And(a)
+            }
+            (Formula::And(mut a), f) => {
+                a.push(f);
+                Formula::And(a)
+            }
+            (f, Formula::And(mut b)) => {
+                b.insert(0, f);
+                Formula::And(b)
+            }
+            (a, b) => Formula::And(vec![a, b]),
+        }
+    }
+
+    /// `self ∨ other`, flattening nested disjunctions.
+    pub fn or(self, other: Formula) -> Self {
+        match (self, other) {
+            (Formula::Const(false), f) | (f, Formula::Const(false)) => f,
+            (Formula::Const(true), _) | (_, Formula::Const(true)) => Formula::Const(true),
+            (Formula::Or(mut a), Formula::Or(b)) => {
+                a.extend(b);
+                Formula::Or(a)
+            }
+            (Formula::Or(mut a), f) => {
+                a.push(f);
+                Formula::Or(a)
+            }
+            (f, Formula::Or(mut b)) => {
+                b.insert(0, f);
+                Formula::Or(b)
+            }
+            (a, b) => Formula::Or(vec![a, b]),
+        }
+    }
+
+    /// `¬self`, cancelling double negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        match self {
+            Formula::Const(b) => Formula::Const(!b),
+            Formula::Not(inner) => *inner,
+            f => Formula::Not(Box::new(f)),
+        }
+    }
+
+    /// Disjunction of many formulas.
+    pub fn any(formulas: impl IntoIterator<Item = Formula>) -> Self {
+        formulas
+            .into_iter()
+            .fold(Formula::contradiction(), Formula::or)
+    }
+
+    /// Conjunction of many formulas.
+    pub fn all(formulas: impl IntoIterator<Item = Formula>) -> Self {
+        formulas.into_iter().fold(Formula::tautology(), Formula::and)
+    }
+
+    /// Structurally simplify: fold constants, flatten nested ∧/∨, drop
+    /// duplicate conjuncts/disjuncts and double negations. Evaluation-
+    /// equivalent to the original on every tuple (property-tested).
+    pub fn simplify(self) -> Formula {
+        match self {
+            Formula::And(fs) => {
+                let mut out: Vec<Formula> = Vec::with_capacity(fs.len());
+                for f in fs {
+                    match f.simplify() {
+                        Formula::Const(true) => {}
+                        Formula::Const(false) => return Formula::Const(false),
+                        Formula::And(inner) => {
+                            for g in inner {
+                                if !out.contains(&g) {
+                                    out.push(g);
+                                }
+                            }
+                        }
+                        g => {
+                            if !out.contains(&g) {
+                                out.push(g);
+                            }
+                        }
+                    }
+                }
+                match out.len() {
+                    0 => Formula::Const(true),
+                    1 => out.pop().expect("len checked"),
+                    _ => Formula::And(out),
+                }
+            }
+            Formula::Or(fs) => {
+                let mut out: Vec<Formula> = Vec::with_capacity(fs.len());
+                for f in fs {
+                    match f.simplify() {
+                        Formula::Const(false) => {}
+                        Formula::Const(true) => return Formula::Const(true),
+                        Formula::Or(inner) => {
+                            for g in inner {
+                                if !out.contains(&g) {
+                                    out.push(g);
+                                }
+                            }
+                        }
+                        g => {
+                            if !out.contains(&g) {
+                                out.push(g);
+                            }
+                        }
+                    }
+                }
+                match out.len() {
+                    0 => Formula::Const(false),
+                    1 => out.pop().expect("len checked"),
+                    _ => Formula::Or(out),
+                }
+            }
+            Formula::Not(inner) => match inner.simplify() {
+                Formula::Const(b) => Formula::Const(!b),
+                Formula::Not(g) => *g,
+                g => Formula::Not(Box::new(g)),
+            },
+            // an empty range is a contradiction
+            Formula::InRange(_, lo, hi) if lo > hi => Formula::Const(false),
+            leaf => leaf,
+        }
+    }
+
+    /// Evaluate the formula against an individual.
+    pub fn eval(&self, t: &Individual) -> bool {
+        match self {
+            Formula::Const(b) => *b,
+            Formula::Atom(attr, op, c) => op.apply(t.get(*attr), *c),
+            Formula::InRange(attr, lo, hi) => {
+                let v = t.get(*attr);
+                *lo <= v && v <= *hi
+            }
+            Formula::And(fs) => fs.iter().all(|f| f.eval(t)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(t)),
+            Formula::Not(f) => !f.eval(t),
+        }
+    }
+
+    /// Render the formula with attribute names from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> FormulaDisplay<'a> {
+        FormulaDisplay {
+            formula: self,
+            schema,
+        }
+    }
+}
+
+/// Helper implementing `Display` for a formula with attribute names.
+pub struct FormulaDisplay<'a> {
+    formula: &'a Formula,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for FormulaDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_formula(self.formula, self.schema, f)
+    }
+}
+
+fn fmt_formula(formula: &Formula, schema: &Schema, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match formula {
+        Formula::Const(b) => write!(f, "{}", if *b { "⊤" } else { "⊥" }),
+        Formula::Atom(attr, op, c) => {
+            let name = &schema.attr(*attr).name;
+            match schema.decode_label(*attr, *c) {
+                Some(label) => write!(f, "{name} {} {label}", op.symbol()),
+                None => write!(f, "{name} {} {c}", op.symbol()),
+            }
+        }
+        Formula::InRange(attr, lo, hi) => {
+            write!(f, "{lo} ≤ {} ≤ {hi}", schema.attr(*attr).name)
+        }
+        Formula::And(fs) => fmt_nary(fs, " ∧ ", schema, f),
+        Formula::Or(fs) => fmt_nary(fs, " ∨ ", schema, f),
+        Formula::Not(inner) => {
+            write!(f, "¬(")?;
+            fmt_formula(inner, schema, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+fn fmt_nary(
+    fs: &[Formula],
+    sep: &str,
+    schema: &Schema,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, sub) in fs.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        fmt_formula(sub, schema, f)?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stratmr_population::AttrDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttrDef::categorical("gender", &["male", "female"]),
+            AttrDef::numeric("income", 0, 1_000_000),
+        ])
+    }
+
+    fn person(gender: i64, income: i64) -> Individual {
+        Individual::new(0, vec![gender, income], 0)
+    }
+
+    #[test]
+    fn paper_example_formula() {
+        let s = schema();
+        let g = s.attr_id("gender").unwrap();
+        let inc = s.attr_id("income").unwrap();
+        let phi = Formula::eq(g, 0)
+            .and(Formula::lt(inc, 50_000))
+            .or(Formula::eq(g, 1).and(Formula::gt(inc, 100_000)));
+        assert!(phi.eval(&person(0, 30_000))); // poor man
+        assert!(!phi.eval(&person(0, 60_000))); // middle man
+        assert!(phi.eval(&person(1, 200_000))); // rich woman
+        assert!(!phi.eval(&person(1, 50_000))); // middle woman
+    }
+
+    #[test]
+    fn all_comparison_ops() {
+        let s = schema();
+        let inc = s.attr_id("income").unwrap();
+        let t = person(0, 10);
+        assert!(Formula::eq(inc, 10).eval(&t));
+        assert!(Formula::ne(inc, 11).eval(&t));
+        assert!(Formula::lt(inc, 11).eval(&t));
+        assert!(!Formula::lt(inc, 10).eval(&t));
+        assert!(Formula::le(inc, 10).eval(&t));
+        assert!(Formula::gt(inc, 9).eval(&t));
+        assert!(!Formula::gt(inc, 10).eval(&t));
+        assert!(Formula::ge(inc, 10).eval(&t));
+        assert!(Formula::between(inc, 10, 20).eval(&t));
+        assert!(Formula::between(inc, 0, 10).eval(&t));
+        assert!(!Formula::between(inc, 11, 20).eval(&t));
+    }
+
+    #[test]
+    fn negation_and_constants() {
+        let s = schema();
+        let inc = s.attr_id("income").unwrap();
+        let t = person(0, 10);
+        assert!(Formula::lt(inc, 5).not().eval(&t));
+        assert!(Formula::tautology().eval(&t));
+        assert!(!Formula::contradiction().eval(&t));
+        // double negation cancels structurally
+        let f = Formula::lt(inc, 5);
+        assert_eq!(f.clone().not().not(), f);
+        // constants fold
+        assert_eq!(Formula::tautology().not(), Formula::contradiction());
+    }
+
+    #[test]
+    fn and_or_flatten_and_fold_constants() {
+        let s = schema();
+        let inc = s.attr_id("income").unwrap();
+        let a = Formula::lt(inc, 5);
+        let b = Formula::gt(inc, 1);
+        let c = Formula::eq(inc, 3);
+        let f = a.clone().and(b.clone()).and(c.clone());
+        assert_eq!(f, Formula::And(vec![a.clone(), b.clone(), c.clone()]));
+        let g = a.clone().or(b.clone()).or(c.clone());
+        assert_eq!(g, Formula::Or(vec![a.clone(), b.clone(), c]));
+        assert_eq!(a.clone().and(Formula::tautology()), a);
+        assert_eq!(a.clone().and(Formula::contradiction()), Formula::contradiction());
+        assert_eq!(b.clone().or(Formula::contradiction()), b);
+        assert_eq!(b.or(Formula::tautology()), Formula::tautology());
+        assert_eq!(Formula::any([]), Formula::contradiction());
+        assert_eq!(Formula::all([]), Formula::tautology());
+        assert_eq!(Formula::any([a.clone()]), a);
+    }
+
+    #[test]
+    fn simplify_folds_and_flattens() {
+        let s = schema();
+        let inc = s.attr_id("income").unwrap();
+        let a = Formula::lt(inc, 5);
+        // raw nested construction, bypassing the folding builders
+        let messy = Formula::And(vec![
+            Formula::Const(true),
+            Formula::And(vec![a.clone(), a.clone()]),
+            Formula::Not(Box::new(Formula::Not(Box::new(a.clone())))),
+        ]);
+        assert_eq!(messy.simplify(), a);
+        let dead = Formula::Or(vec![Formula::Const(false), Formula::Const(false)]);
+        assert_eq!(dead.simplify(), Formula::contradiction());
+        let alive = Formula::Or(vec![a.clone(), Formula::Const(true)]);
+        assert_eq!(alive.simplify(), Formula::tautology());
+        let short_circuit = Formula::And(vec![a.clone(), Formula::Const(false)]);
+        assert_eq!(short_circuit.simplify(), Formula::contradiction());
+        assert_eq!(Formula::between(inc, 10, 5).simplify(), Formula::contradiction());
+        // leaves pass through untouched
+        assert_eq!(a.clone().simplify(), a);
+    }
+
+    #[test]
+    fn display_uses_names_and_labels() {
+        let s = schema();
+        let g = s.attr_id("gender").unwrap();
+        let inc = s.attr_id("income").unwrap();
+        let phi = Formula::eq(g, 0).and(Formula::lt(inc, 50_000));
+        let text = phi.display(&s).to_string();
+        assert_eq!(text, "(gender = male ∧ income < 50000)");
+        let range = Formula::between(inc, 10, 20);
+        assert_eq!(range.display(&s).to_string(), "10 ≤ income ≤ 20");
+        let neg = Formula::gt(inc, 5).not();
+        assert_eq!(neg.display(&s).to_string(), "¬(income > 5)");
+    }
+}

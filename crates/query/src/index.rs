@@ -1,0 +1,312 @@
+//! Accelerated stratum matching.
+//!
+//! `SsdQuery::matching_stratum` scans the constraints linearly — fine for
+//! a handful of strata, but the paper's Large group has 256 strata per
+//! SSD and the map phase calls it for every tuple. [`StratumIndex`]
+//! exploits the common *rectangular* shape of generated strata
+//! (conjunctions of per-attribute ranges, §6.1.2): it extracts a
+//! conservative interval per stratum on a discriminating attribute,
+//! partitions that attribute's domain into elementary segments, and at
+//! query time binary-searches the segment and tests only the candidate
+//! strata listed there.
+//!
+//! The index is *always correct* for valid (disjoint) queries: interval
+//! extraction is conservative (a stratum whose extent on the attribute
+//! cannot be bounded lands in every segment), and every candidate is
+//! still verified with the full formula.
+
+use crate::formula::{CmpOp, Formula};
+use crate::ssd::{SsdQuery, StratumId};
+use stratmr_population::{AttrId, Individual};
+
+/// A segment-tree-flavored index over one SSD query.
+#[derive(Debug, Clone)]
+pub struct StratumIndex {
+    attr: Option<AttrId>,
+    /// Sorted segment boundaries: segment `i` covers
+    /// `[bounds[i], bounds[i+1])`; values outside fall into the first or
+    /// last segment.
+    bounds: Vec<i64>,
+    /// Candidate strata per segment.
+    candidates: Vec<Vec<StratumId>>,
+}
+
+impl StratumIndex {
+    /// Build an index for a query. Chooses the attribute on which the
+    /// most strata have extractable intervals; with no usable attribute
+    /// the index degenerates to a verified linear scan.
+    pub fn build(query: &SsdQuery) -> Self {
+        let m = query.len();
+        // candidate attributes: all attributes appearing in any formula
+        let mut attrs: Vec<AttrId> = Vec::new();
+        for s in query.constraints() {
+            collect_attrs(&s.formula, &mut attrs);
+        }
+        attrs.sort_unstable();
+        attrs.dedup();
+
+        // pick the attribute with the most bounded strata
+        let mut best: Option<(AttrId, usize)> = None;
+        for &a in &attrs {
+            let bounded = query
+                .constraints()
+                .iter()
+                .filter(|s| interval_on(&s.formula, a).is_some())
+                .count();
+            if best.is_none_or(|(_, b)| bounded > b) {
+                best = Some((a, bounded));
+            }
+        }
+        let Some((attr, bounded)) = best else {
+            return Self::linear(m);
+        };
+        if bounded == 0 {
+            return Self::linear(m);
+        }
+
+        // elementary segments from all interval boundaries
+        let intervals: Vec<Option<(i64, i64)>> = query
+            .constraints()
+            .iter()
+            .map(|s| interval_on(&s.formula, attr))
+            .collect();
+        let mut bounds: Vec<i64> = Vec::new();
+        for iv in intervals.iter().flatten() {
+            bounds.push(iv.0);
+            bounds.push(iv.1.saturating_add(1)); // half-open upper bound
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        if bounds.is_empty() {
+            return Self::linear(m);
+        }
+        // segments: (-inf, b0), [b0, b1), ..., [b_last, +inf)
+        let n_segments = bounds.len() + 1;
+        let mut candidates: Vec<Vec<StratumId>> = vec![Vec::new(); n_segments];
+        for (k, iv) in intervals.iter().enumerate() {
+            match iv {
+                None => {
+                    for c in &mut candidates {
+                        c.push(k);
+                    }
+                }
+                &Some((lo, hi)) => {
+                    // segments overlapping [lo, hi]
+                    for (seg, c) in candidates.iter_mut().enumerate() {
+                        let seg_lo = if seg == 0 { i64::MIN } else { bounds[seg - 1] };
+                        let seg_hi = if seg == n_segments - 1 {
+                            i64::MAX
+                        } else {
+                            bounds[seg]
+                        };
+                        // segment [seg_lo, seg_hi) overlaps [lo, hi]?
+                        if seg_lo <= hi && lo < seg_hi {
+                            c.push(k);
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            attr: Some(attr),
+            bounds,
+            candidates,
+        }
+    }
+
+    fn linear(m: usize) -> Self {
+        Self {
+            attr: None,
+            bounds: Vec::new(),
+            candidates: vec![(0..m).collect()],
+        }
+    }
+
+    /// Number of candidate strata tested for a tuple, on average over
+    /// segments (diagnostic).
+    pub fn mean_candidates(&self) -> f64 {
+        let total: usize = self.candidates.iter().map(|c| c.len()).sum();
+        total as f64 / self.candidates.len() as f64
+    }
+
+    /// The stratum of `query` that `t` satisfies, if any. Equivalent to
+    /// `query.matching_stratum(t)` for valid (disjoint) queries.
+    #[inline]
+    pub fn matching_stratum(&self, query: &SsdQuery, t: &Individual) -> Option<StratumId> {
+        let seg = match self.attr {
+            None => 0,
+            Some(attr) => {
+                let v = t.get(attr);
+                // first segment whose lower bound exceeds v
+                self.bounds.partition_point(|&b| b <= v)
+            }
+        };
+        self.candidates[seg]
+            .iter()
+            .copied()
+            .find(|&k| query.stratum(k).matches(t))
+    }
+}
+
+/// All attributes referenced by a formula.
+fn collect_attrs(f: &Formula, out: &mut Vec<AttrId>) {
+    match f {
+        Formula::Atom(a, _, _) | Formula::InRange(a, _, _) => out.push(*a),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|f| collect_attrs(f, out)),
+        Formula::Not(f) => collect_attrs(f, out),
+        Formula::Const(_) => {}
+    }
+}
+
+/// A conservative interval `[lo, hi]` such that any tuple satisfying the
+/// formula has `attr` within it; `None` when no bound can be proven.
+fn interval_on(f: &Formula, attr: AttrId) -> Option<(i64, i64)> {
+    match f {
+        Formula::InRange(a, lo, hi) if *a == attr => Some((*lo, *hi)),
+        Formula::Atom(a, op, c) if *a == attr => match op {
+            CmpOp::Eq => Some((*c, *c)),
+            CmpOp::Lt => Some((i64::MIN, c - 1)),
+            CmpOp::Le => Some((i64::MIN, *c)),
+            CmpOp::Gt => Some((c + 1, i64::MAX)),
+            CmpOp::Ge => Some((*c, i64::MAX)),
+            CmpOp::Ne => None,
+        },
+        Formula::And(fs) => {
+            // intersection of children's intervals
+            let mut acc: Option<(i64, i64)> = None;
+            for child in fs {
+                if let Some((lo, hi)) = interval_on(child, attr) {
+                    acc = Some(match acc {
+                        None => (lo, hi),
+                        Some((alo, ahi)) => (alo.max(lo), ahi.min(hi)),
+                    });
+                }
+            }
+            acc
+        }
+        Formula::Or(fs) => {
+            // hull of children's intervals; every child must be bounded
+            let mut acc: Option<(i64, i64)> = None;
+            for child in fs {
+                let (lo, hi) = interval_on(child, attr)?;
+                acc = Some(match acc {
+                    None => (lo, hi),
+                    Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+                });
+            }
+            acc
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GroupSpec, QueryGenerator};
+    use crate::ssd::StratumConstraint;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use stratmr_population::dblp::{DblpConfig, DblpGenerator};
+    use stratmr_population::{AttrDef, Schema};
+
+    fn x() -> AttrId {
+        AttrId(0)
+    }
+
+    #[test]
+    fn interval_extraction() {
+        assert_eq!(interval_on(&Formula::between(x(), 3, 9), x()), Some((3, 9)));
+        assert_eq!(interval_on(&Formula::eq(x(), 5), x()), Some((5, 5)));
+        assert_eq!(
+            interval_on(&Formula::lt(x(), 5).and(Formula::ge(x(), 1)), x()),
+            Some((1, 4))
+        );
+        assert_eq!(
+            interval_on(
+                &Formula::between(x(), 0, 2).or(Formula::between(x(), 8, 9)),
+                x()
+            ),
+            Some((0, 9))
+        );
+        assert_eq!(interval_on(&Formula::ne(x(), 5), x()), None);
+        assert_eq!(interval_on(&Formula::between(AttrId(1), 0, 5), x()), None);
+    }
+
+    #[test]
+    fn index_agrees_with_linear_scan_on_banded_query() {
+        let _ = Schema::new(vec![AttrDef::numeric("x", 0, 99)]);
+        let q = SsdQuery::new(
+            (0..10)
+                .map(|k| StratumConstraint::new(Formula::between(x(), k * 10, k * 10 + 9), 1))
+                .collect(),
+        );
+        let index = StratumIndex::build(&q);
+        for v in -5..110 {
+            let t = Individual::new(0, vec![v], 0);
+            assert_eq!(
+                index.matching_stratum(&q, &t),
+                q.matching_stratum(&t),
+                "disagreement at x = {v}"
+            );
+        }
+        // narrow segments: few candidates each
+        assert!(index.mean_candidates() < 2.5, "{}", index.mean_candidates());
+    }
+
+    #[test]
+    fn index_agrees_on_generated_paper_queries() {
+        let data = DblpGenerator::new(DblpConfig::default()).generate(2_000, 5);
+        let qgen = QueryGenerator::new(DblpGenerator::schema());
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for spec in &GroupSpec::ALL {
+            let q = qgen.generate_ssd_proportional(spec, 300, data.tuples(), &mut rng);
+            let index = StratumIndex::build(&q);
+            for t in data.tuples().iter().take(500) {
+                assert_eq!(index.matching_stratum(&q, t), q.matching_stratum(t));
+            }
+            // the cartesian-product strata should index well
+            assert!(
+                index.mean_candidates() <= (q.len() as f64 / 2.0).max(4.0),
+                "poor pruning: {} of {}",
+                index.mean_candidates(),
+                q.len()
+            );
+        }
+    }
+
+    #[test]
+    fn unindexable_query_falls_back_to_linear() {
+        let q = SsdQuery::new(vec![
+            StratumConstraint::new(Formula::ne(x(), 3), 1),
+            StratumConstraint::new(Formula::eq(x(), 3), 1),
+        ]);
+        let index = StratumIndex::build(&q);
+        for v in 0..10 {
+            let t = Individual::new(0, vec![v], 0);
+            assert_eq!(index.matching_stratum(&q, &t), q.matching_stratum(&t));
+        }
+    }
+
+    #[test]
+    fn empty_query_index() {
+        let q = SsdQuery::new(vec![]);
+        let index = StratumIndex::build(&q);
+        let t = Individual::new(0, vec![1], 0);
+        assert_eq!(index.matching_stratum(&q, &t), None);
+    }
+
+    #[test]
+    fn negated_strata_remain_correct() {
+        // stratum 1 is a negation: unbounded on x, goes everywhere
+        let q = SsdQuery::new(vec![
+            StratumConstraint::new(Formula::between(x(), 0, 49), 1),
+            StratumConstraint::new(Formula::between(x(), 0, 99).not(), 1),
+        ]);
+        let index = StratumIndex::build(&q);
+        for v in [-10i64, 0, 25, 49, 50, 99, 100, 200] {
+            let t = Individual::new(0, vec![v], 0);
+            assert_eq!(index.matching_stratum(&q, &t), q.matching_stratum(&t));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Multi stratified-sample design (MSSD) queries and answers (§3.2.2).
+//!
+//! An MSSD query is a pair `(Q, C)`: a set of SSD queries to be answered
+//! in parallel and a cost model for sharing individuals among them. An
+//! answer is one [`SsdAnswer`] per SSD; its cost is `Σ_t c_{τ(t)}` where
+//! `τ(t)` is the set of surveys individual `t` participates in.
+
+use crate::costs::CostModel;
+use crate::ssd::{SsdAnswer, SsdQuery};
+use crate::survey_set::{SurveySet, MAX_SURVEYS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An MSSD query `(Q, C)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MssdQuery {
+    queries: Vec<SsdQuery>,
+    costs: CostModel,
+}
+
+impl MssdQuery {
+    /// Build an MSSD query.
+    ///
+    /// # Panics
+    /// Panics if the cost model covers a different number of surveys than
+    /// `queries`, or if there are more than [`MAX_SURVEYS`] queries.
+    pub fn new(queries: Vec<SsdQuery>, costs: CostModel) -> Self {
+        assert!(queries.len() <= MAX_SURVEYS, "too many parallel surveys");
+        assert_eq!(
+            queries.len(),
+            costs.n_surveys(),
+            "cost model does not match query count"
+        );
+        Self { queries, costs }
+    }
+
+    /// The SSD queries `Q`.
+    pub fn queries(&self) -> &[SsdQuery] {
+        &self.queries
+    }
+
+    /// The cost model `C`.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Number of parallel surveys `n`.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when there are no surveys.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Total number of individuals requested across all surveys
+    /// (an upper bound on the answer's unique individuals).
+    pub fn total_frequency(&self) -> usize {
+        self.queries.iter().map(|q| q.total_frequency()).sum()
+    }
+}
+
+/// An answer `A = {A_1, ..., A_n}` to an MSSD query.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MssdAnswer {
+    answers: Vec<SsdAnswer>,
+}
+
+impl MssdAnswer {
+    /// Build from per-survey answers.
+    pub fn new(answers: Vec<SsdAnswer>) -> Self {
+        Self { answers }
+    }
+
+    /// The answer to survey `i`.
+    pub fn answer(&self, i: usize) -> &SsdAnswer {
+        &self.answers[i]
+    }
+
+    /// All per-survey answers.
+    pub fn answers(&self) -> &[SsdAnswer] {
+        &self.answers
+    }
+
+    /// Number of surveys answered.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// True when no surveys were answered.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// `τ(t)` for every individual in `union(A)`: which surveys each
+    /// selected individual participates in, keyed by individual id.
+    pub fn survey_sets(&self) -> HashMap<u64, SurveySet> {
+        let mut taus: HashMap<u64, SurveySet> = HashMap::new();
+        for (i, ans) in self.answers.iter().enumerate() {
+            for t in ans.iter() {
+                let entry = taus.entry(t.id).or_default();
+                *entry = entry.with(i);
+            }
+        }
+        taus
+    }
+
+    /// Number of *unique* individuals selected, `|union(A)|`.
+    pub fn unique_individuals(&self) -> usize {
+        self.survey_sets().len()
+    }
+
+    /// Total selections counted with multiplicity, `Σ_i |A_i|`.
+    pub fn total_selections(&self) -> usize {
+        self.answers.iter().map(|a| a.len()).sum()
+    }
+
+    /// The cost of the answer, `c(A) = Σ_{t ∈ union(A)} c_{τ(t)}` (§3.2.2).
+    pub fn cost(&self, costs: &CostModel) -> f64 {
+        let taus = self.survey_sets();
+        costs.assignment_cost(taus.values())
+    }
+
+    /// Does every per-survey answer satisfy its SSD query?
+    pub fn satisfies(&self, mssd: &MssdQuery) -> bool {
+        self.answers.len() == mssd.len()
+            && self
+                .answers
+                .iter()
+                .zip(mssd.queries())
+                .all(|(a, q)| a.satisfies(q))
+    }
+
+    /// Histogram of sharing degrees: entry `d - 1` counts the unique
+    /// individuals assigned to exactly `d` surveys (the quantity plotted
+    /// in Figure 6).
+    pub fn sharing_histogram(&self, n_surveys: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; n_surveys];
+        for tau in self.survey_sets().values() {
+            let d = tau.len();
+            if d >= 1 {
+                hist[d - 1] += 1;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use crate::ssd::StratumConstraint;
+    use stratmr_population::{AttrDef, AttrId, Individual, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![AttrDef::numeric("x", 0, 100)])
+    }
+
+    fn x() -> AttrId {
+        schema().attr_id("x").unwrap()
+    }
+
+    fn ind(id: u64, v: i64) -> Individual {
+        Individual::new(id, vec![v], 0)
+    }
+
+    fn two_survey_mssd() -> MssdQuery {
+        let q1 = SsdQuery::new(vec![StratumConstraint::new(Formula::lt(x(), 50), 2)]);
+        let q2 = SsdQuery::new(vec![StratumConstraint::new(Formula::lt(x(), 80), 2)]);
+        MssdQuery::new(vec![q1, q2], CostModel::paper_style(2, 4.0, &[], 0.0))
+    }
+
+    #[test]
+    fn survey_sets_track_membership() {
+        let shared = ind(1, 10);
+        let only1 = ind(2, 20);
+        let only2 = ind(3, 70);
+        let a = MssdAnswer::new(vec![
+            SsdAnswer::from_strata(vec![vec![shared.clone(), only1]]),
+            SsdAnswer::from_strata(vec![vec![shared, only2]]),
+        ]);
+        let taus = a.survey_sets();
+        assert_eq!(taus[&1], SurveySet::from_iter([0, 1]));
+        assert_eq!(taus[&2], SurveySet::singleton(0));
+        assert_eq!(taus[&3], SurveySet::singleton(1));
+        assert_eq!(a.unique_individuals(), 3);
+        assert_eq!(a.total_selections(), 4);
+    }
+
+    #[test]
+    fn cost_rewards_sharing_under_max_base() {
+        let mssd = two_survey_mssd();
+        let shared = ind(1, 10);
+        // Fully shared: 2 individuals in both surveys → 2 × $4.
+        let both = MssdAnswer::new(vec![
+            SsdAnswer::from_strata(vec![vec![shared.clone(), ind(2, 20)]]),
+            SsdAnswer::from_strata(vec![vec![shared, ind(2, 20)]]),
+        ]);
+        assert_eq!(both.cost(mssd.costs()), 8.0);
+        // Disjoint: 4 individuals → 4 × $4.
+        let disjoint = MssdAnswer::new(vec![
+            SsdAnswer::from_strata(vec![vec![ind(1, 10), ind(2, 20)]]),
+            SsdAnswer::from_strata(vec![vec![ind(3, 30), ind(4, 40)]]),
+        ]);
+        assert_eq!(disjoint.cost(mssd.costs()), 16.0);
+    }
+
+    #[test]
+    fn satisfies_checks_every_survey() {
+        let mssd = two_survey_mssd();
+        let good = MssdAnswer::new(vec![
+            SsdAnswer::from_strata(vec![vec![ind(1, 10), ind(2, 20)]]),
+            SsdAnswer::from_strata(vec![vec![ind(3, 60), ind(4, 70)]]),
+        ]);
+        assert!(good.satisfies(&mssd));
+        let bad = MssdAnswer::new(vec![
+            SsdAnswer::from_strata(vec![vec![ind(1, 10)]]), // too few
+            SsdAnswer::from_strata(vec![vec![ind(3, 60), ind(4, 70)]]),
+        ]);
+        assert!(!bad.satisfies(&mssd));
+    }
+
+    #[test]
+    fn sharing_histogram_counts_degrees() {
+        let shared = ind(1, 10);
+        let a = MssdAnswer::new(vec![
+            SsdAnswer::from_strata(vec![vec![shared.clone(), ind(2, 20)]]),
+            SsdAnswer::from_strata(vec![vec![shared]]),
+        ]);
+        assert_eq!(a.sharing_histogram(2), vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost model does not match")]
+    fn mismatched_cost_model_rejected() {
+        let q = SsdQuery::new(vec![]);
+        MssdQuery::new(vec![q], CostModel::indifferent(vec![1.0, 2.0]));
+    }
+}

@@ -1,0 +1,454 @@
+//! Textual formula syntax.
+//!
+//! Stratum conditions in the paper are written in DRC style, e.g.
+//!
+//! ```text
+//! (gender = male && yearly_income < 50000) ||
+//! (gender = female && yearly_income > 100000)
+//! ```
+//!
+//! This module parses that syntax against a [`Schema`]: attribute names
+//! resolve to ids, categorical labels to their codes. Operators:
+//! `= != < <= > >=`, `in [lo, hi]` (inclusive range), conjunction
+//! `&&`/`and`, disjunction `||`/`or`, negation `!`/`not`, parentheses,
+//! and the constants `true`/`false`.
+
+use crate::formula::{CmpOp, Formula};
+use std::fmt;
+use stratmr_population::Schema;
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the offending token.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a formula against a schema.
+pub fn parse_formula(input: &str, schema: &Schema) -> Result<Formula, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        schema,
+    };
+    let f = p.parse_or()?;
+    match p.peek() {
+        None => Ok(f),
+        Some(t) => Err(p.error_at(t.offset, "unexpected trailing input")),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(i64),
+    Op(CmpOp),
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    In,
+    True,
+    False,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    offset: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { tok: Tok::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { tok: Tok::RParen, offset: start });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { tok: Tok::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { tok: Tok::RBracket, offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { tok: Tok::Comma, offset: start });
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token { tok: Tok::And, offset: start });
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '&&'".into(),
+                        offset: start,
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token { tok: Tok::Or, offset: start });
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '||'".into(),
+                        offset: start,
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Op(CmpOp::Ne), offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Not, offset: start });
+                    i += 1;
+                }
+            }
+            '=' => {
+                // accept both '=' and '=='
+                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                out.push(Token { tok: Tok::Op(CmpOp::Eq), offset: start });
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Op(CmpOp::Le), offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Op(CmpOp::Lt), offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Op(CmpOp::Ge), offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Op(CmpOp::Gt), offset: start });
+                    i += 1;
+                }
+            }
+            '-' | '0'..='9' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let n: i64 = text.parse().map_err(|_| ParseError {
+                    message: format!("bad number {text:?}"),
+                    offset: start,
+                })?;
+                out.push(Token { tok: Tok::Number(n), offset: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                let tok = match word {
+                    "and" | "AND" => Tok::And,
+                    "or" | "OR" => Tok::Or,
+                    "not" | "NOT" => Tok::Not,
+                    "in" | "IN" => Tok::In,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { tok, offset: start });
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    schema: &'a Schema,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_at(&self, offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    fn error_eof(&self, message: impl Into<String>) -> ParseError {
+        let offset = self.tokens.last().map_or(0, |t| t.offset);
+        self.error_at(offset, message)
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.parse_and()?;
+        while matches!(self.peek().map(|t| &t.tok), Some(Tok::Or)) {
+            self.next();
+            f = f.or(self.parse_and()?);
+        }
+        Ok(f)
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.parse_unary()?;
+        while matches!(self.peek().map(|t| &t.tok), Some(Tok::And)) {
+            self.next();
+            f = f.and(self.parse_unary()?);
+        }
+        Ok(f)
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::Not) => {
+                self.next();
+                Ok(self.parse_unary()?.not())
+            }
+            Some(Tok::LParen) => {
+                self.next();
+                let f = self.parse_or()?;
+                match self.next() {
+                    Some(Token {
+                        tok: Tok::RParen, ..
+                    }) => Ok(f),
+                    Some(t) => Err(self.error_at(t.offset, "expected ')'")),
+                    None => Err(self.error_eof("unclosed '('")),
+                }
+            }
+            Some(Tok::True) => {
+                self.next();
+                Ok(Formula::tautology())
+            }
+            Some(Tok::False) => {
+                self.next();
+                Ok(Formula::contradiction())
+            }
+            _ => self.parse_comparison(),
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Formula, ParseError> {
+        let Some(tok) = self.next() else {
+            return Err(self.error_eof("expected a condition"));
+        };
+        let Tok::Ident(name) = tok.tok else {
+            return Err(self.error_at(tok.offset, "expected an attribute name"));
+        };
+        let attr = self
+            .schema
+            .attr_id(&name)
+            .ok_or_else(|| self.error_at(tok.offset, format!("unknown attribute {name:?}")))?;
+        let Some(op_tok) = self.next() else {
+            return Err(self.error_eof("expected a comparison operator"));
+        };
+        match op_tok.tok {
+            Tok::Op(op) => {
+                let value = self.parse_value(attr)?;
+                Ok(Formula::Atom(attr, op, value))
+            }
+            Tok::In => {
+                // in [lo, hi]
+                self.expect(Tok::LBracket, "expected '['")?;
+                let lo = self.parse_value(attr)?;
+                self.expect(Tok::Comma, "expected ','")?;
+                let hi = self.parse_value(attr)?;
+                self.expect(Tok::RBracket, "expected ']'")?;
+                Ok(Formula::between(attr, lo, hi))
+            }
+            _ => Err(self.error_at(op_tok.offset, "expected a comparison operator or 'in'")),
+        }
+    }
+
+    fn expect(&mut self, want: Tok, message: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t.tok == want => Ok(()),
+            Some(t) => Err(self.error_at(t.offset, message)),
+            None => Err(self.error_eof(message)),
+        }
+    }
+
+    /// A numeric literal, or a categorical label resolved via the schema.
+    fn parse_value(&mut self, attr: stratmr_population::AttrId) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Number(n),
+                ..
+            }) => Ok(n),
+            Some(Token {
+                tok: Tok::Ident(label),
+                offset,
+            }) => self.schema.encode_label(attr, &label).ok_or_else(|| {
+                self.error_at(
+                    offset,
+                    format!(
+                        "{label:?} is not a label of attribute {:?}",
+                        self.schema.attr(attr).name
+                    ),
+                )
+            }),
+            Some(t) => Err(self.error_at(t.offset, "expected a value")),
+            None => Err(self.error_eof("expected a value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stratmr_population::{AttrDef, Individual};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttrDef::categorical("gender", &["male", "female"]),
+            AttrDef::numeric("yearly_income", 0, 1_000_000),
+            AttrDef::numeric("age", 0, 120),
+        ])
+    }
+
+    fn person(gender: i64, income: i64, age: i64) -> Individual {
+        Individual::new(0, vec![gender, income, age], 0)
+    }
+
+    #[test]
+    fn paper_example_parses_and_evaluates() {
+        let s = schema();
+        let f = parse_formula(
+            "(gender = male && yearly_income < 50000) || \
+             (gender = female && yearly_income > 100000)",
+            &s,
+        )
+        .unwrap();
+        assert!(f.eval(&person(0, 30_000, 40)));
+        assert!(!f.eval(&person(0, 70_000, 40)));
+        assert!(f.eval(&person(1, 150_000, 40)));
+        assert!(!f.eval(&person(1, 50_000, 40)));
+    }
+
+    #[test]
+    fn keyword_operators_work() {
+        let s = schema();
+        let f = parse_formula("not (age < 18) and gender = female or age >= 90", &s).unwrap();
+        // precedence: ((not(age<18) and gender=female) or age>=90)
+        assert!(f.eval(&person(1, 0, 30)));
+        assert!(f.eval(&person(0, 0, 95)));
+        assert!(!f.eval(&person(0, 0, 30)));
+        assert!(!f.eval(&person(1, 0, 10)));
+    }
+
+    #[test]
+    fn all_comparison_operators() {
+        let s = schema();
+        for (text, age, expect) in [
+            ("age = 30", 30, true),
+            ("age == 30", 30, true),
+            ("age != 30", 30, false),
+            ("age < 30", 29, true),
+            ("age <= 30", 30, true),
+            ("age > 30", 31, true),
+            ("age >= 30", 30, true),
+            ("age in [20, 30]", 25, true),
+            ("age in [20, 30]", 31, false),
+        ] {
+            let f = parse_formula(text, &s).unwrap();
+            assert_eq!(f.eval(&person(0, 0, age)), expect, "{text} at age {age}");
+        }
+    }
+
+    #[test]
+    fn constants_and_negative_numbers() {
+        let s = schema();
+        assert_eq!(parse_formula("true", &s).unwrap(), Formula::tautology());
+        assert_eq!(parse_formula("false", &s).unwrap(), Formula::contradiction());
+        let f = parse_formula("age > -5", &s).unwrap();
+        assert!(f.eval(&person(0, 0, 0)));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let s = schema();
+        let err = parse_formula("age > ", &s).unwrap_err();
+        assert!(err.message.contains("expected a value"), "{err}");
+        let err = parse_formula("height > 3", &s).unwrap_err();
+        assert!(err.message.contains("unknown attribute"), "{err}");
+        assert_eq!(err.offset, 0);
+        let err = parse_formula("age > 3 extra", &s).unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        assert_eq!(err.offset, 8);
+        let err = parse_formula("(age > 3", &s).unwrap_err();
+        assert!(err.message.contains("unclosed"), "{err}");
+        let err = parse_formula("gender = alien", &s).unwrap_err();
+        assert!(err.message.contains("not a label"), "{err}");
+        let err = parse_formula("age & 3", &s).unwrap_err();
+        assert!(err.message.contains("'&&'"), "{err}");
+        let err = parse_formula("age # 3", &s).unwrap_err();
+        assert!(err.message.contains("unexpected character"), "{err}");
+    }
+
+    #[test]
+    fn parse_then_display_round_trip_semantics() {
+        // display output isn't identical text, but re-parsing an
+        // equivalent formula must evaluate identically
+        let s = schema();
+        let f = parse_formula("gender = female && age in [30, 40]", &s).unwrap();
+        for age in [29, 30, 35, 40, 41] {
+            for g in [0, 1] {
+                let t = person(g, 0, age);
+                let expect = g == 1 && (30..=40).contains(&age);
+                assert_eq!(f.eval(&t), expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Serde round trips for the query model: designs and answers must
+//! survive JSON serialization bit-for-bit, since the CLI and experiment
+//! records depend on it.
+
+use stratmr_population::{AttrDef, Individual, Schema};
+use stratmr_query::{
+    CostModel, Formula, MssdAnswer, MssdQuery, SharingBase, SsdAnswer, SsdQuery,
+    StratumConstraint, SurveySet,
+};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        AttrDef::numeric("income", 0, 1_000_000),
+        AttrDef::categorical("gender", &["male", "female"]),
+    ])
+}
+
+fn demo_query() -> SsdQuery {
+    let s = schema();
+    let income = s.attr_id("income").unwrap();
+    let gender = s.attr_id("gender").unwrap();
+    SsdQuery::new(vec![
+        StratumConstraint::new(
+            Formula::eq(gender, 0).and(Formula::lt(income, 50_000)),
+            50,
+        ),
+        StratumConstraint::new(
+            Formula::eq(gender, 1)
+                .and(Formula::gt(income, 100_000))
+                .or(Formula::between(income, 60_000, 70_000).not()),
+            25,
+        ),
+    ])
+}
+
+#[test]
+fn ssd_query_round_trips() {
+    let q = demo_query();
+    let json = serde_json::to_string(&q).unwrap();
+    let back: SsdQuery = serde_json::from_str(&json).unwrap();
+    assert_eq!(q, back);
+    // semantics preserved, not just structure
+    let t = Individual::new(0, vec![30_000, 0], 0);
+    assert_eq!(q.matching_stratum(&t), back.matching_stratum(&t));
+}
+
+#[test]
+fn mssd_query_round_trips() {
+    let costs = CostModel::new(vec![20.0, 4.0], SharingBase::Max)
+        .with_penalty(0, 1, 10.0)
+        .with_override(SurveySet::from_iter([0, 1]), 3.0);
+    let mssd = MssdQuery::new(vec![demo_query(), demo_query()], costs);
+    let json = serde_json::to_string(&mssd).unwrap();
+    let back: MssdQuery = serde_json::from_str(&json).unwrap();
+    assert_eq!(mssd, back);
+    assert_eq!(
+        mssd.costs().cost(SurveySet::from_iter([0, 1])),
+        back.costs().cost(SurveySet::from_iter([0, 1]))
+    );
+}
+
+#[test]
+fn answers_round_trip() {
+    let a = SsdAnswer::from_strata(vec![
+        vec![Individual::new(1, vec![10, 0], 100)],
+        vec![
+            Individual::new(2, vec![200_000, 1], 100),
+            Individual::new(3, vec![65_000, 0], 100),
+        ],
+    ]);
+    let mssd_answer = MssdAnswer::new(vec![a.clone(), SsdAnswer::empty(1)]);
+    let json = serde_json::to_string(&mssd_answer).unwrap();
+    let back: MssdAnswer = serde_json::from_str(&json).unwrap();
+    assert_eq!(mssd_answer, back);
+    assert_eq!(back.answer(0).stratum(1).len(), 2);
+}
+
+#[test]
+fn survey_set_serializes_compactly() {
+    let tau = SurveySet::from_iter([0, 3, 7]);
+    let json = serde_json::to_string(&tau).unwrap();
+    let back: SurveySet = serde_json::from_str(&json).unwrap();
+    assert_eq!(tau, back);
+    assert_eq!(json, "137"); // bitmask: 1 + 8 + 128
+}

@@ -1,0 +1,922 @@
+//! CPS and MR-CPS — cost-optimal multi-survey stratified sampling (§5.2).
+//!
+//! The Constraint Program Selector (Algorithm 2) answers an MSSD query
+//! while minimizing the total survey cost, without biasing any survey's
+//! sample:
+//!
+//! 1. compute a representative (non-optimal) answer `A` with MR-MQE and
+//!    derive the stratum-selection frequencies `F(A_i, σ)`;
+//! 2. compute the limits `L(σ)` with the Figure 4 MapReduce job;
+//! 3. solve the Figure 3 program for the optimal sharing counts
+//!    `X_τ(σ)` — exactly (IP, Algorithm CPS) or via the LP relaxation
+//!    with floor rounding (MR-CPS);
+//! 4. run MR-SQE on the *combined query* `Q′` (one stratum per relevant
+//!    selection, frequency `f(σ) = Σ_τ X_τ(σ)`) and distribute the
+//!    sampled tuples to the answers according to the `X_τ(σ)`;
+//! 5. top up the rounding deficit with a *residual* MR-MQE phase that
+//!    excludes already-selected individuals per query (§5.2.5.2).
+//!
+//! The Figure 3 program couples no two distinct selections σ, so it is
+//! solved block-by-block (one small program per σ) by default; the joint
+//! single-program formulation is available for cross-checking
+//! (DESIGN.md, substitution 4).
+
+use crate::limits::stratum_selection_limits;
+use crate::mqe::mr_mqe_on_splits;
+use crate::reservoir::Reservoir;
+use crate::sst::{Sst, StratumSelection};
+use crate::unified::{unified_sampler, IntermediateSample};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+use stratmr_lp::{solve_ip, solve_lp, LpError, Problem, Relation};
+use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobStats, TaskCtx};
+use stratmr_population::{DistributedDataset, Individual};
+use stratmr_query::{MssdAnswer, MssdQuery, SsdAnswer, SsdQuery, SurveySet};
+
+/// Which solver backs step 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Linear relaxation + floor rounding + residual phase (MR-CPS).
+    Lp,
+    /// Exact integer program via branch and bound (Algorithm CPS).
+    Ip,
+}
+
+/// Configuration of a CPS run.
+#[derive(Debug, Clone, Copy)]
+pub struct CpsConfig {
+    /// LP relaxation (MR-CPS) or exact IP (CPS).
+    pub solver: SolverKind,
+    /// Floor nudge `ε` compensating solver quantization: assignments are
+    /// rounded to `⌊X_τ(σ) + ε⌋` (the paper uses 1e-4).
+    pub epsilon: f64,
+    /// Safety bound on residual top-up rounds (one round suffices
+    /// analytically; see the module docs).
+    pub max_residual_rounds: usize,
+    /// Solve one joint program over all selections instead of one block
+    /// per σ. Mathematically identical; exists for verification and the
+    /// ablation bench.
+    pub joint_formulation: bool,
+}
+
+impl Default for CpsConfig {
+    fn default() -> Self {
+        Self {
+            solver: SolverKind::Lp,
+            epsilon: 1e-4,
+            max_residual_rounds: 4,
+            joint_formulation: false,
+        }
+    }
+}
+
+impl CpsConfig {
+    /// MR-CPS: the paper's scalable LP-based variant.
+    pub fn mr_cps() -> Self {
+        Self::default()
+    }
+
+    /// CPS with the exact IP solver.
+    pub fn exact() -> Self {
+        Self {
+            solver: SolverKind::Ip,
+            ..Self::default()
+        }
+    }
+}
+
+/// Time spent formulating and solving the constraint program (Figure 8).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpsTimings {
+    /// Seconds spent building the program(s).
+    pub formulate_secs: f64,
+    /// Seconds spent in the solver.
+    pub solve_secs: f64,
+}
+
+/// Result of a CPS / MR-CPS run.
+#[derive(Debug, Clone)]
+pub struct CpsRun {
+    /// The cost-optimized multi-survey answer `A*`.
+    pub answer: MssdAnswer,
+    /// Realized cost `C_A` of the answer under the query's cost model.
+    pub cost: f64,
+    /// Objective value of the solved program (`C_LP` or `C_IP`).
+    pub solver_objective: f64,
+    /// Individuals added by the residual phase (the §6.2.2 statistic —
+    /// at most ~5.5% of the answer in the paper's runs).
+    pub residual_selections: usize,
+    /// Number of decision variables in the program.
+    pub variables: usize,
+    /// Number of constraints in the program.
+    pub constraints: usize,
+    /// Number of relevant stratum selections `|[[Q]]*|`.
+    pub relevant_selections: usize,
+    /// Constraint-program timings.
+    pub timings: CpsTimings,
+    /// Per-MapReduce-phase statistics, labeled.
+    pub phase_stats: Vec<(String, JobStats)>,
+}
+
+/// The solved allocation for one stratum selection.
+struct SigmaPlan {
+    sel: StratumSelection,
+    /// `(τ, ⌊X_τ(σ)⌋)` with positive counts, in ascending τ order.
+    allocations: Vec<(SurveySet, u64)>,
+    /// `f(σ) = Σ_τ ⌊X_τ(σ)⌋`.
+    total: u64,
+}
+
+/// Run CPS / MR-CPS over a distributed dataset.
+pub fn mr_cps(
+    cluster: &Cluster,
+    data: &DistributedDataset,
+    mssd: &MssdQuery,
+    config: CpsConfig,
+    seed: u64,
+) -> Result<CpsRun, LpError> {
+    mr_cps_on_splits(
+        cluster,
+        &crate::input::to_input_splits(data),
+        mssd,
+        config,
+        seed,
+    )
+}
+
+/// Run CPS / MR-CPS on pre-built input splits.
+pub fn mr_cps_on_splits(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    mssd: &MssdQuery,
+    config: CpsConfig,
+    seed: u64,
+) -> Result<CpsRun, LpError> {
+    let queries = mssd.queries();
+    let n = queries.len();
+    let mut phase_stats = Vec::new();
+
+    // ---- step 1: representative first-phase answer (Line 1) ------------
+    let initial = mr_mqe_on_splits(cluster, splits, queries, None, seed.wrapping_add(1));
+    phase_stats.push(("initial MR-MQE".to_string(), initial.stats.clone()));
+
+    // F(A_i, σ) via one SST per answer (§5.2.5.1)
+    let freq: Vec<HashMap<StratumSelection, u64>> = (0..n)
+        .map(|i| {
+            Sst::from_tuples(initial.answer.answer(i).iter(), queries)
+                .iter()
+                .collect()
+        })
+        .collect();
+
+    // [[Q]]* — the relevant selections
+    let mut relevant: Vec<StratumSelection> = freq
+        .iter()
+        .flat_map(|f| f.keys().cloned())
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    relevant.sort(); // deterministic block order
+
+    // ---- step 2: limits L(σ) (Figure 4) --------------------------------
+    let relevant_set: HashSet<StratumSelection> = relevant.iter().cloned().collect();
+    let (limits, limit_stats) = stratum_selection_limits(
+        cluster,
+        splits,
+        queries,
+        Some(&relevant_set),
+        seed.wrapping_add(2),
+    );
+    phase_stats.push(("selection limits".to_string(), limit_stats));
+
+    // ---- step 3: formulate & solve the Figure 3 program ----------------
+    let mut timings = CpsTimings::default();
+    let mut variables = 0usize;
+    let mut constraints = 0usize;
+    let mut solver_objective = 0.0f64;
+    let plans: Vec<SigmaPlan> = if config.joint_formulation {
+        solve_joint(
+            &relevant,
+            &freq,
+            &limits,
+            mssd,
+            config,
+            &mut timings,
+            &mut variables,
+            &mut constraints,
+            &mut solver_objective,
+        )?
+    } else {
+        solve_blockwise(
+            &relevant,
+            &freq,
+            &limits,
+            mssd,
+            config,
+            &mut timings,
+            &mut variables,
+            &mut constraints,
+            &mut solver_objective,
+        )?
+    };
+
+    // ---- step 4: combined query Q′ + distribution (Lines 4-15) ---------
+    // Q′ has one stratum per relevant σ with a positive allocation; its
+    // condition ϕ(σ) selects exactly the tuples with σ(t) = σ, so the
+    // job matches tuples by computing σ(t) once and indexing — the
+    // MapReduce program is MR-SQE on Q′, with the formula evaluation
+    // strength-reduced to a selection lookup.
+    let active: Vec<&SigmaPlan> = plans.iter().filter(|p| p.total > 0).collect();
+    let sigma_index: HashMap<StratumSelection, usize> = active
+        .iter()
+        .enumerate()
+        .map(|(k, p)| (p.sel.clone(), k))
+        .collect();
+    let combined_freqs: Vec<usize> = active.iter().map(|p| p.total as usize).collect();
+    let combined_job = CombinedSqeJob {
+        queries,
+        index: &sigma_index,
+        freqs: &combined_freqs,
+    };
+    let combined = cluster.run_with_combiner(&combined_job, splits, seed.wrapping_add(3));
+    phase_stats.push(("combined MR-SQE".to_string(), combined.stats.clone()));
+    let mut pools: Vec<Vec<Individual>> = vec![Vec::new(); active.len()];
+    for (k, sample) in combined.results {
+        pools[k] = sample;
+    }
+
+    let mut star: Vec<SsdAnswer> = queries.iter().map(|q| SsdAnswer::empty(q.len())).collect();
+    // per (i, σ): how many tuples A*_i already holds for σ
+    let mut assigned: Vec<HashMap<StratumSelection, u64>> = vec![HashMap::new(); n];
+    for (plan, pool) in active.iter().zip(&mut pools) {
+        for &(tau, count) in &plan.allocations {
+            for _ in 0..count {
+                let Some(t) = pool.pop() else { break };
+                for i in tau.iter() {
+                    let stratum = plan.sel.stratum_of(i).expect("τ ⊆ I(σ)");
+                    star[i].stratum_mut(stratum).push(t.clone());
+                    *assigned[i].entry(plan.sel.clone()).or_default() += 1;
+                }
+            }
+        }
+    }
+
+    // ---- step 5: residual top-up (§5.2.5.2) -----------------------------
+    // Semantically another MSSD (MR-MQE) phase over the residual
+    // frequencies, keyed by (query, σ) with already-selected individuals
+    // excluded per query; like the combined job, tuples are matched by
+    // σ(t) lookup instead of re-evaluating ϕ(σ).
+    let mut residual_selections = 0usize;
+    for round in 0..config.max_residual_rounds {
+        // deficits per (i, σ)
+        let mut needed: HashMap<(usize, StratumSelection), usize> = HashMap::new();
+        for i in 0..n {
+            for sel in &relevant {
+                let want = freq[i].get(sel).copied().unwrap_or(0);
+                let have = assigned[i].get(sel).copied().unwrap_or(0);
+                if want > have {
+                    needed.insert((i, sel.clone()), (want - have) as usize);
+                }
+            }
+        }
+        if needed.is_empty() {
+            break;
+        }
+        // exclude already-selected individuals, per query
+        let exclusions: Vec<HashSet<u64>> = star
+            .iter()
+            .map(|a| a.iter().map(|t| t.id).collect())
+            .collect();
+        let residual_job = ResidualMqeJob {
+            queries,
+            needed: &needed,
+            exclusions: &exclusions,
+        };
+        let residual =
+            cluster.run_with_combiner(&residual_job, splits, seed.wrapping_add(4 + round as u64));
+        phase_stats.push((format!("residual MR-MQE #{round}"), residual.stats.clone()));
+        let mut added_this_round = 0usize;
+        for ((i, sel), tuples) in residual.results {
+            let stratum = sel.stratum_of(i).expect("deficit implies i ∈ I(σ)");
+            for t in tuples {
+                star[i].stratum_mut(stratum).push(t);
+                *assigned[i].entry(sel.clone()).or_default() += 1;
+                added_this_round += 1;
+            }
+        }
+        residual_selections += added_this_round;
+        if added_this_round == 0 {
+            // pool dry (cannot happen when the limits are consistent);
+            // avoid spinning
+            break;
+        }
+    }
+
+    let answer = MssdAnswer::new(star);
+    let cost = answer.cost(mssd.costs());
+    Ok(CpsRun {
+        answer,
+        cost,
+        solver_objective,
+        residual_selections,
+        variables,
+        constraints,
+        relevant_selections: relevant.len(),
+        timings,
+        phase_stats,
+    })
+}
+
+/// MR-SQE on the combined query Q′, with stratum matching done by
+/// computing `σ(t)` and indexing into the relevant selections (each Q′
+/// stratum's condition `ϕ(σ)` holds exactly on tuples with `σ(t) = σ`).
+struct CombinedSqeJob<'a> {
+    queries: &'a [SsdQuery],
+    index: &'a HashMap<StratumSelection, usize>,
+    freqs: &'a [usize],
+}
+
+impl CombineJob for CombinedSqeJob<'_> {
+    type Input = Individual;
+    type Key = usize;
+    type MapOut = Individual;
+    type CombOut = IntermediateSample<Individual>;
+    type ReduceOut = Vec<Individual>;
+
+    fn map(&self, _ctx: &TaskCtx, t: &Individual, out: &mut Emitter<usize, Individual>) {
+        let sel = StratumSelection::of(t, self.queries);
+        if let Some(&k) = self.index.get(&sel) {
+            out.emit(k, t.clone());
+        }
+    }
+
+    fn combine(
+        &self,
+        ctx: &TaskCtx,
+        key: &usize,
+        values: &mut dyn Iterator<Item = Individual>,
+    ) -> IntermediateSample<Individual> {
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        let mut reservoir = Reservoir::new(self.freqs[*key]);
+        for t in values {
+            reservoir.observe(t, &mut rng);
+        }
+        let (sample, seen) = reservoir.into_parts();
+        IntermediateSample::new(sample, seen)
+    }
+
+    fn reduce(
+        &self,
+        ctx: &TaskCtx,
+        key: &usize,
+        values: Vec<IntermediateSample<Individual>>,
+    ) -> Vec<Individual> {
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        unified_sampler(values, self.freqs[*key], &mut rng)
+    }
+
+    fn input_bytes(&self, t: &Individual) -> u64 {
+        t.payload_bytes as u64
+    }
+
+    fn comb_bytes(&self, _key: &usize, s: &IntermediateSample<Individual>) -> u64 {
+        s.sample
+            .iter()
+            .map(crate::input::wire_bytes)
+            .sum::<u64>()
+            + 16
+    }
+}
+
+/// The residual MR-MQE phase, keyed by `(query, σ)` with per-query
+/// exclusion of already-selected individuals.
+struct ResidualMqeJob<'a> {
+    queries: &'a [SsdQuery],
+    needed: &'a HashMap<(usize, StratumSelection), usize>,
+    exclusions: &'a [HashSet<u64>],
+}
+
+impl CombineJob for ResidualMqeJob<'_> {
+    type Input = Individual;
+    type Key = (usize, StratumSelection);
+    type MapOut = Individual;
+    type CombOut = IntermediateSample<Individual>;
+    type ReduceOut = Vec<Individual>;
+
+    fn map(
+        &self,
+        _ctx: &TaskCtx,
+        t: &Individual,
+        out: &mut Emitter<(usize, StratumSelection), Individual>,
+    ) {
+        let sel = StratumSelection::of(t, self.queries);
+        for i in sel.survey_indexes().iter() {
+            if self.exclusions[i].contains(&t.id) {
+                continue;
+            }
+            let key = (i, sel.clone());
+            if self.needed.contains_key(&key) {
+                out.emit(key, t.clone());
+            }
+        }
+    }
+
+    fn combine(
+        &self,
+        ctx: &TaskCtx,
+        key: &(usize, StratumSelection),
+        values: &mut dyn Iterator<Item = Individual>,
+    ) -> IntermediateSample<Individual> {
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        let mut reservoir = Reservoir::new(self.needed[key]);
+        for t in values {
+            reservoir.observe(t, &mut rng);
+        }
+        let (sample, seen) = reservoir.into_parts();
+        IntermediateSample::new(sample, seen)
+    }
+
+    fn reduce(
+        &self,
+        ctx: &TaskCtx,
+        key: &(usize, StratumSelection),
+        values: Vec<IntermediateSample<Individual>>,
+    ) -> Vec<Individual> {
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        unified_sampler(values, self.needed[key], &mut rng)
+    }
+
+    fn input_bytes(&self, t: &Individual) -> u64 {
+        t.payload_bytes as u64
+    }
+
+    fn comb_bytes(&self, _key: &(usize, StratumSelection), s: &IntermediateSample<Individual>) -> u64 {
+        s.sample
+            .iter()
+            .map(crate::input::wire_bytes)
+            .sum::<u64>()
+            + 16
+    }
+}
+
+/// The queries that actually sampled σ: `{i ∈ I(σ) : F(A_i, σ) > 0}`.
+///
+/// For any `i` with `F(A_i, σ) = 0`, the equality constraint forces every
+/// `X_τ(σ)` with `i ∈ τ` to zero, so restricting the variables to subsets
+/// of this set leaves the optimum unchanged (the same reasoning the paper
+/// uses to prune redundant selections in §5.2.5.1, applied per variable).
+fn active_surveys(sel: &StratumSelection, freq: &[HashMap<StratumSelection, u64>]) -> SurveySet {
+    SurveySet::from_iter(
+        sel.survey_indexes()
+            .iter()
+            .filter(|&i| freq[i].get(sel).copied().unwrap_or(0) > 0),
+    )
+}
+
+/// Enumerate the non-empty subsets of a survey set in ascending bitmask
+/// order.
+fn taus_of(active: SurveySet) -> Vec<SurveySet> {
+    let mut taus: Vec<SurveySet> = active.nonempty_subsets().collect();
+    taus.sort();
+    taus
+}
+
+/// Floor with the paper's ε nudge.
+fn floor_eps(x: f64, eps: f64) -> u64 {
+    (x + eps).floor().max(0.0) as u64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_blockwise(
+    relevant: &[StratumSelection],
+    freq: &[HashMap<StratumSelection, u64>],
+    limits: &HashMap<StratumSelection, u64>,
+    mssd: &MssdQuery,
+    config: CpsConfig,
+    timings: &mut CpsTimings,
+    variables: &mut usize,
+    constraints: &mut usize,
+    objective: &mut f64,
+) -> Result<Vec<SigmaPlan>, LpError> {
+    let mut plans = Vec::with_capacity(relevant.len());
+    for sel in relevant {
+        let t0 = Instant::now();
+        let taus = taus_of(active_surveys(sel, freq));
+        let mut problem = Problem::new();
+        let vars: Vec<_> = taus
+            .iter()
+            .map(|&tau| problem.add_var(mssd.costs().cost(tau)))
+            .collect();
+        // equivalence constraints: Σ_{τ∋i} X_τ = F(A_i, σ)
+        for i in active_surveys(sel, freq).iter() {
+            let coeffs: Vec<_> = taus
+                .iter()
+                .zip(&vars)
+                .filter(|(tau, _)| tau.contains(i))
+                .map(|(_, &v)| (v, 1.0))
+                .collect();
+            let f = freq[i].get(sel).copied().unwrap_or(0);
+            problem.add_constraint(coeffs, Relation::Eq, f as f64);
+        }
+        // upper bound: Σ_τ X_τ ≤ L(σ)
+        let limit = limits.get(sel).copied().unwrap_or(0);
+        problem.add_constraint(
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            Relation::Le,
+            limit as f64,
+        );
+        *variables += problem.n_vars();
+        *constraints += problem.n_constraints();
+        timings.formulate_secs += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let solution = match config.solver {
+            SolverKind::Lp => solve_lp(&problem)?,
+            SolverKind::Ip => solve_ip(&problem)?,
+        };
+        timings.solve_secs += t1.elapsed().as_secs_f64();
+        *objective += solution.objective;
+
+        let allocations: Vec<(SurveySet, u64)> = taus
+            .iter()
+            .zip(&vars)
+            .map(|(&tau, &v)| {
+                let x = solution.values[v];
+                let count = match config.solver {
+                    SolverKind::Lp => floor_eps(x, config.epsilon),
+                    SolverKind::Ip => x.round() as u64,
+                };
+                (tau, count)
+            })
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        let total = allocations.iter().map(|&(_, c)| c).sum();
+        plans.push(SigmaPlan {
+            sel: sel.clone(),
+            allocations,
+            total,
+        });
+    }
+    Ok(plans)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_joint(
+    relevant: &[StratumSelection],
+    freq: &[HashMap<StratumSelection, u64>],
+    limits: &HashMap<StratumSelection, u64>,
+    mssd: &MssdQuery,
+    config: CpsConfig,
+    timings: &mut CpsTimings,
+    variables: &mut usize,
+    constraints: &mut usize,
+    objective: &mut f64,
+) -> Result<Vec<SigmaPlan>, LpError> {
+    let t0 = Instant::now();
+    let mut problem = Problem::new();
+    // var layout: per selection, its τ list
+    let mut layout: Vec<(Vec<SurveySet>, Vec<usize>)> = Vec::with_capacity(relevant.len());
+    for sel in relevant {
+        let taus = taus_of(active_surveys(sel, freq));
+        let vars: Vec<_> = taus
+            .iter()
+            .map(|&tau| problem.add_var(mssd.costs().cost(tau)))
+            .collect();
+        for i in active_surveys(sel, freq).iter() {
+            let coeffs: Vec<_> = taus
+                .iter()
+                .zip(&vars)
+                .filter(|(tau, _)| tau.contains(i))
+                .map(|(_, &v)| (v, 1.0))
+                .collect();
+            let f = freq[i].get(sel).copied().unwrap_or(0);
+            problem.add_constraint(coeffs, Relation::Eq, f as f64);
+        }
+        let limit = limits.get(sel).copied().unwrap_or(0);
+        problem.add_constraint(
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            Relation::Le,
+            limit as f64,
+        );
+        layout.push((taus, vars));
+    }
+    *variables = problem.n_vars();
+    *constraints = problem.n_constraints();
+    timings.formulate_secs += t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let solution = match config.solver {
+        SolverKind::Lp => solve_lp(&problem)?,
+        SolverKind::Ip => solve_ip(&problem)?,
+    };
+    timings.solve_secs += t1.elapsed().as_secs_f64();
+    *objective = solution.objective;
+
+    Ok(relevant
+        .iter()
+        .zip(layout)
+        .map(|(sel, (taus, vars))| {
+            let allocations: Vec<(SurveySet, u64)> = taus
+                .iter()
+                .zip(&vars)
+                .map(|(&tau, &v)| {
+                    let x = solution.values[v];
+                    let count = match config.solver {
+                        SolverKind::Lp => floor_eps(x, config.epsilon),
+                        SolverKind::Ip => x.round() as u64,
+                    };
+                    (tau, count)
+                })
+                .filter(|&(_, c)| c > 0)
+                .collect();
+            let total = allocations.iter().map(|&(_, c)| c).sum();
+            SigmaPlan {
+                sel: sel.clone(),
+                allocations,
+                total,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mqe::mr_mqe;
+    use stratmr_population::{AttrDef, AttrId, Dataset, Placement, Schema};
+    use stratmr_query::{CostModel, Formula, StratumConstraint};
+
+    fn x() -> AttrId {
+        AttrId(0)
+    }
+
+    /// Population: x uniform over 0..100, n individuals.
+    fn dataset(n: usize) -> Dataset {
+        let schema = Schema::new(vec![AttrDef::numeric("x", 0, 99)]);
+        let tuples = (0..n as u64)
+            .map(|i| Individual::new(i, vec![(i % 100) as i64], 100))
+            .collect();
+        Dataset::new(schema, tuples)
+    }
+
+    /// Two overlapping surveys over the same attribute, sharing free.
+    fn overlapping_mssd() -> MssdQuery {
+        let q1 = SsdQuery::new(vec![
+            StratumConstraint::new(Formula::lt(x(), 50), 10),
+            StratumConstraint::new(Formula::ge(x(), 50), 10),
+        ]);
+        let q2 = SsdQuery::new(vec![
+            StratumConstraint::new(Formula::lt(x(), 30), 6),
+            StratumConstraint::new(Formula::between(x(), 30, 69), 8),
+            StratumConstraint::new(Formula::ge(x(), 70), 6),
+        ]);
+        MssdQuery::new(vec![q1, q2], CostModel::paper_style(2, 4.0, &[], 10.0))
+    }
+
+    #[test]
+    fn cps_answer_satisfies_all_queries() {
+        let data = dataset(2000).distribute(4, 8, Placement::RoundRobin);
+        let cluster = Cluster::new(4);
+        let mssd = overlapping_mssd();
+        let run = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 42).unwrap();
+        assert!(
+            run.answer.satisfies(&mssd),
+            "CPS answer must satisfy every SSD"
+        );
+    }
+
+    #[test]
+    fn cps_cost_beats_mqe_on_average() {
+        let data = dataset(2000).distribute(3, 6, Placement::RoundRobin);
+        let cluster = Cluster::new(3);
+        let mssd = overlapping_mssd();
+        let runs = 15;
+        let mut cps_total = 0.0;
+        let mut mqe_total = 0.0;
+        for s in 0..runs {
+            let cps = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), s).unwrap();
+            cps_total += cps.cost;
+            let mqe = mr_mqe(&cluster, &data, mssd.queries(), s);
+            mqe_total += mqe.answer.cost(mssd.costs());
+        }
+        assert!(
+            cps_total < mqe_total,
+            "CPS ({cps_total}) should be cheaper than MQE ({mqe_total})"
+        );
+    }
+
+    #[test]
+    fn lp_objective_bounds_realized_cost() {
+        // C_LP ≤ C_IP ≤ C_A (§6.2.2)
+        let data = dataset(1500).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let mssd = overlapping_mssd();
+        let lp = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 7).unwrap();
+        let ip = mr_cps(&cluster, &data, &mssd, CpsConfig::exact(), 7).unwrap();
+        assert!(
+            lp.solver_objective <= ip.solver_objective + 1e-6,
+            "C_LP {} > C_IP {}",
+            lp.solver_objective,
+            ip.solver_objective
+        );
+        assert!(
+            ip.solver_objective <= ip.cost + 1e-6,
+            "C_IP {} > realized {}",
+            ip.solver_objective,
+            ip.cost
+        );
+    }
+
+    #[test]
+    fn exact_ip_has_no_residuals() {
+        let data = dataset(1500).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let mssd = overlapping_mssd();
+        let run = mr_cps(&cluster, &data, &mssd, CpsConfig::exact(), 11).unwrap();
+        assert_eq!(
+            run.residual_selections, 0,
+            "integral solutions need no residual phase"
+        );
+        // with no rounding loss the realized answer matches the IP plan
+        assert!(run.answer.satisfies(&mssd));
+    }
+
+    #[test]
+    fn joint_and_blockwise_agree() {
+        let data = dataset(1200).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let mssd = overlapping_mssd();
+        let block = mr_cps(
+            &cluster,
+            &data,
+            &mssd,
+            CpsConfig {
+                joint_formulation: false,
+                ..CpsConfig::mr_cps()
+            },
+            5,
+        )
+        .unwrap();
+        let joint = mr_cps(
+            &cluster,
+            &data,
+            &mssd,
+            CpsConfig {
+                joint_formulation: true,
+                ..CpsConfig::mr_cps()
+            },
+            5,
+        )
+        .unwrap();
+        assert!(
+            (block.solver_objective - joint.solver_objective).abs() < 1e-6,
+            "block {} vs joint {}",
+            block.solver_objective,
+            joint.solver_objective
+        );
+        assert_eq!(block.variables, joint.variables);
+        assert_eq!(block.constraints, joint.constraints);
+    }
+
+    #[test]
+    fn sharing_is_high_when_free_and_low_when_penalized() {
+        let data = dataset(2000).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        // two *identical* surveys → everything can be shared
+        let q = SsdQuery::new(vec![StratumConstraint::new(Formula::lt(x(), 100), 20)]);
+        let free = MssdQuery::new(
+            vec![q.clone(), q.clone()],
+            CostModel::paper_style(2, 4.0, &[], 0.0),
+        );
+        let run = mr_cps(&cluster, &data, &free, CpsConfig::mr_cps(), 3).unwrap();
+        let hist = run.answer.sharing_histogram(2);
+        assert_eq!(hist[1], 20, "all individuals should serve both surveys");
+        assert!((run.cost - 80.0).abs() < 1e-9, "20 shared × $4 = $80, got {}", run.cost);
+
+        // heavy penalty → sharing never pays off
+        let penalized = MssdQuery::new(
+            vec![q.clone(), q],
+            CostModel::paper_style(2, 4.0, &[(0, 1)], 100.0),
+        );
+        let run2 = mr_cps(&cluster, &data, &penalized, CpsConfig::mr_cps(), 3).unwrap();
+        let hist2 = run2.answer.sharing_histogram(2);
+        assert_eq!(hist2[1], 0, "penalty should forbid sharing: {hist2:?}");
+        assert!((run2.cost - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example3_single_men_are_not_overrepresented() {
+        // Example 3: survey A wants 6 men, survey B wants 12 singles.
+        // Sharing uses single men — but only as many as a representative
+        // sample contains, not "as many as possible".
+        let schema = Schema::new(vec![
+            AttrDef::categorical("gender", &["male", "female"]),
+            AttrDef::categorical("status", &["single", "married"]),
+        ]);
+        let g = schema.attr_id("gender").unwrap();
+        let st = schema.attr_id("status").unwrap();
+        // population: 200 individuals, 50/50 gender, 50/50 status, independent
+        let tuples: Vec<Individual> = (0..200u64)
+            .map(|i| Individual::new(i, vec![(i % 2) as i64, ((i / 2) % 2) as i64], 10))
+            .collect();
+        let data = Dataset::new(schema, tuples).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let men = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(g, 0), 6)]);
+        let singles = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(st, 0), 12)]);
+        let mssd = MssdQuery::new(
+            vec![men, singles],
+            CostModel::paper_style(2, 1.0, &[], 0.0),
+        );
+        // across runs, the fraction of single men in survey A must hover
+        // around the population rate (1/2), not 100%
+        let runs = 40;
+        let mut single_men = 0usize;
+        for s in 0..runs {
+            let run = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), s).unwrap();
+            assert!(run.answer.satisfies(&mssd));
+            single_men += run
+                .answer
+                .answer(0)
+                .iter()
+                .filter(|t| t.get(st) == 0)
+                .count();
+        }
+        let frac = single_men as f64 / (runs * 6) as f64;
+        assert!(
+            (0.35..=0.65).contains(&frac),
+            "single-men fraction {frac} is biased (expected ≈ 0.5)"
+        );
+    }
+
+    /// A constructed instance whose LP optimum is a *fractional* vertex
+    /// (`X_{12} = X_{13} = X_{23} = 1/2`), so floor rounding zeroes the
+    /// whole plan and the residual phase must assemble the entire answer.
+    #[test]
+    fn fractional_lp_vertex_exercises_residual_phase() {
+        // exactly 2 individuals → L(σ) = 2
+        let schema = Schema::new(vec![AttrDef::numeric("x", 0, 0)]);
+        let tuples = vec![
+            Individual::new(0, vec![0], 10),
+            Individual::new(1, vec![0], 10),
+        ];
+        let data = Dataset::new(schema, tuples).distribute(2, 2, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        // three surveys, each sampling 1 individual from the one stratum
+        let q = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(x(), 0), 1)]);
+        // pair sharing mildly penalized, triple sharing heavily:
+        // LP optimum = three half-pairs (cost 9) beats {123} (10) and
+        // {12}+{3} (10); singletons alone are infeasible (Σ = 3 > L = 2)
+        let costs = CostModel::paper_style(3, 4.0, &[(0, 1), (0, 2), (1, 2)], 2.0)
+            .with_override(SurveySet::from_iter([0, 1, 2]), 10.0);
+        let mssd = MssdQuery::new(vec![q.clone(), q.clone(), q], costs);
+        let run = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 3).unwrap();
+        assert!(
+            (run.solver_objective - 9.0).abs() < 1e-6,
+            "expected the fractional optimum 9, got {}",
+            run.solver_objective
+        );
+        assert_eq!(
+            run.residual_selections, 3,
+            "flooring a fully fractional plan leaves everything to residuals"
+        );
+        assert!(run.answer.satisfies(&mssd), "residual phase must complete the answer");
+        // realized integral cost can't beat the IP optimum (10)
+        assert!(run.cost >= 10.0 - 1e-9, "realized {}", run.cost);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = dataset(1000).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let mssd = overlapping_mssd();
+        let a = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 9).unwrap();
+        let b = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 9).unwrap();
+        assert_eq!(a.answer, b.answer);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn empty_mssd_yields_empty_answer() {
+        let data = dataset(100).distribute(2, 2, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let mssd = MssdQuery::new(vec![], CostModel::indifferent(vec![]));
+        let run = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 1).unwrap();
+        assert!(run.answer.is_empty());
+        assert_eq!(run.cost, 0.0);
+        assert_eq!(run.relevant_selections, 0);
+    }
+
+    #[test]
+    fn phase_stats_are_labeled() {
+        let data = dataset(800).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let mssd = overlapping_mssd();
+        let run = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 2).unwrap();
+        let labels: Vec<&str> = run.phase_stats.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"initial MR-MQE"));
+        assert!(labels.contains(&"selection limits"));
+        assert!(labels.contains(&"combined MR-SQE"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Bridging populations to MapReduce input splits.
+
+use stratmr_mapreduce::InputSplit;
+use stratmr_population::{DistributedDataset, Individual};
+
+/// Wire size of one tuple in the shuffle: id + header + the queryable
+/// attribute values.
+///
+/// Mappers emit *projected* tuples — the individual's id and attributes —
+/// not the full stored record (`payload_bytes`, ~100 KB in the paper's
+/// dataset); the survey fetches full records by id after sampling. The
+/// map phase still pays the full record scan via
+/// `CombineJob::input_bytes`.
+#[inline]
+pub fn wire_bytes(t: &Individual) -> u64 {
+    24 + 8 * t.arity() as u64
+}
+
+/// Convert a distributed dataset's splits into MapReduce input splits.
+///
+/// Individuals are reference-counted, so this clones handles, not
+/// attribute data. Call once per dataset and reuse the result across jobs
+/// when running many queries.
+pub fn to_input_splits(data: &DistributedDataset) -> Vec<InputSplit<Individual>> {
+    data.splits()
+        .iter()
+        .map(|s| InputSplit::new(s.id, s.home_machine, s.tuples.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stratmr_population::{AttrDef, Dataset, Placement, Schema};
+
+    #[test]
+    fn splits_mirror_dataset_layout() {
+        let schema = Schema::new(vec![AttrDef::numeric("x", 0, 9)]);
+        let tuples = (0..20u64)
+            .map(|i| Individual::new(i, vec![(i % 10) as i64], 5))
+            .collect();
+        let data = Dataset::new(schema, tuples).distribute(3, 6, Placement::RoundRobin);
+        let splits = to_input_splits(&data);
+        assert_eq!(splits.len(), 6);
+        for (mr, ds) in splits.iter().zip(data.splits()) {
+            assert_eq!(mr.id, ds.id);
+            assert_eq!(mr.home_machine, ds.home_machine);
+            assert_eq!(mr.records, ds.tuples);
+        }
+    }
+}

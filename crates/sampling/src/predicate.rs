@@ -1,0 +1,162 @@
+//! Split-based predicate sampling — the Grover & Carey baseline (§2).
+//!
+//! Grover & Carey's MapReduce extension for predicate-based sampling
+//! reads input splits *incrementally* and stops as soon as enough
+//! predicate-matching tuples have been collected. That is efficient, but
+//! it "relies on an assumption that the data is stored in splits, where
+//! each split represents a random sample of the entire data. Otherwise,
+//! the resulting sample would be biased … specifically, this assumption
+//! does not hold … where machines in a certain geographical region store
+//! data coming from this region."
+//!
+//! This module implements that strategy so the bias can be measured —
+//! see the unit tests, which show it is fine under shuffled placement
+//! and detectably biased under sorted placement, whereas MR-SQE is
+//! unbiased under both.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stratmr_mapreduce::InputSplit;
+use stratmr_population::Individual;
+use stratmr_query::Formula;
+
+/// Outcome of an early-terminating predicate sample.
+#[derive(Debug, Clone)]
+pub struct PredicateSample {
+    /// The collected tuples (up to `n`).
+    pub sample: Vec<Individual>,
+    /// How many splits were actually read — the efficiency win.
+    pub splits_read: usize,
+    /// How many tuples were scanned.
+    pub tuples_scanned: usize,
+}
+
+/// Collect `n` tuples matching `predicate` by reading splits one at a
+/// time and stopping early (the Grover & Carey strategy). The final
+/// over-collection from the last split is down-sampled uniformly.
+///
+/// Unbiased **only if** every split is a random sample of the data; use
+/// MR-SQE when placement is not random.
+pub fn predicate_sample(
+    splits: &[InputSplit<Individual>],
+    predicate: &Formula,
+    n: usize,
+    seed: u64,
+) -> PredicateSample {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut sample = Vec::with_capacity(n);
+    let mut splits_read = 0;
+    let mut tuples_scanned = 0;
+    for split in splits {
+        splits_read += 1;
+        let mut from_this_split: Vec<Individual> = Vec::new();
+        for t in &split.records {
+            tuples_scanned += 1;
+            if predicate.eval(t) {
+                from_this_split.push(t.clone());
+            }
+        }
+        let missing = n - sample.len();
+        if from_this_split.len() > missing {
+            // down-sample the final split's matches uniformly
+            from_this_split.shuffle(&mut rng);
+            from_this_split.truncate(missing);
+        }
+        sample.extend(from_this_split);
+        if sample.len() >= n {
+            break;
+        }
+    }
+    PredicateSample {
+        sample,
+        splits_read,
+        tuples_scanned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::to_input_splits;
+    use crate::stats::{chi2_critical_999, chi2_uniform};
+    use stratmr_population::{AttrDef, AttrId, Dataset, Placement, Schema};
+
+    fn dataset(n: usize) -> Dataset {
+        let schema = Schema::new(vec![AttrDef::numeric("x", 0, 9)]);
+        let tuples = (0..n as u64)
+            .map(|i| Individual::new(i, vec![(i % 10) as i64], 10))
+            .collect();
+        Dataset::new(schema, tuples)
+    }
+
+    fn x() -> AttrId {
+        AttrId(0)
+    }
+
+    #[test]
+    fn early_termination_reads_few_splits() {
+        let data = dataset(10_000).distribute(10, 100, Placement::Shuffled(1));
+        let splits = to_input_splits(&data);
+        let result = predicate_sample(&splits, &Formula::lt(x(), 5), 50, 7);
+        assert_eq!(result.sample.len(), 50);
+        assert!(
+            result.splits_read <= 2,
+            "should stop after ~1 split, read {}",
+            result.splits_read
+        );
+        assert!(result.tuples_scanned < 10_000 / 10);
+        assert!(result.sample.iter().all(|t| t.get(x()) < 5));
+    }
+
+    #[test]
+    fn unbiased_under_shuffled_placement() {
+        let data = dataset(200);
+        let trials = 8000;
+        let mut counts = vec![0u64; 200];
+        for s in 0..trials {
+            // reshuffle placement per trial — the Grover & Carey premise
+            let dist = data.distribute(4, 10, Placement::Shuffled(s));
+            let splits = to_input_splits(&dist);
+            let result = predicate_sample(&splits, &Formula::tautology(), 10, s);
+            for t in result.sample {
+                counts[t.id as usize] += 1;
+            }
+        }
+        let chi2 = chi2_uniform(&counts);
+        let crit = chi2_critical_999(199);
+        assert!(chi2 < crit, "unexpected bias under shuffle: {chi2} >= {crit}");
+    }
+
+    #[test]
+    fn biased_under_sorted_placement() {
+        // regional storage: tuples sorted by attribute, early splits hold
+        // low regions — early termination then oversamples them
+        let data = dataset(200);
+        let dist = data.distribute(4, 10, Placement::SortedBy(x()));
+        let splits = to_input_splits(&dist);
+        let trials = 4000;
+        let mut counts = vec![0u64; 200];
+        for s in 0..trials {
+            let result = predicate_sample(&splits, &Formula::tautology(), 10, s);
+            for t in result.sample {
+                counts[t.id as usize] += 1;
+            }
+        }
+        let chi2 = chi2_uniform(&counts);
+        let crit = chi2_critical_999(199);
+        assert!(
+            chi2 > crit,
+            "sorted placement should bias early termination: {chi2} <= {crit}"
+        );
+    }
+
+    #[test]
+    fn insufficient_matches_returns_what_exists() {
+        let data = dataset(100).distribute(2, 4, Placement::RoundRobin);
+        let splits = to_input_splits(&data);
+        let result = predicate_sample(&splits, &Formula::lt(x(), 1), 500, 3);
+        assert_eq!(result.sample.len(), 10); // only 10 tuples have x = 0
+        assert_eq!(result.splits_read, 4);
+    }
+}

@@ -1,0 +1,308 @@
+//! MR-SQE — the paper's single-query MapReduce sampler (Figure 2, §4.2.2).
+//!
+//! ```text
+//! map    (null, t)            → [(s_k, t)]              if t satisfies s_k
+//! combine(s_k, [t_1…t_N])     → (SRS([t_1…t_N], f_k), N)
+//! reduce (s_k, [(S̄_1,N̄_1)…]) → unified-sampler({…}, f_k)
+//! ```
+//!
+//! The combiner runs Algorithm R on each map task's local stream, so only
+//! `min(f_k, N̄_i)` tuples per (task, stratum) cross the network; the
+//! reducer merges the intermediate samples without bias via the unified
+//! sampler (Algorithm 1).
+
+use crate::reservoir::Reservoir;
+use crate::unified::{unified_sampler, IntermediateSample};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, TaskCtx};
+use stratmr_population::{DistributedDataset, Individual};
+use stratmr_query::{SsdAnswer, SsdQuery, StratumId, StratumIndex};
+
+pub use crate::naive::SqeRun;
+
+/// The Figure 2 job.
+pub struct SqeJob<'a> {
+    query: &'a SsdQuery,
+    index: Option<StratumIndex>,
+}
+
+impl<'a> SqeJob<'a> {
+    /// Build the job for one SSD query.
+    pub fn new(query: &'a SsdQuery) -> Self {
+        Self { query, index: None }
+    }
+
+    /// Match tuples through a [`StratumIndex`] instead of a linear scan —
+    /// identical results, faster maps on queries with many rectangular
+    /// strata (the Large group's 256 per SSD).
+    pub fn with_index(mut self) -> Self {
+        self.index = Some(StratumIndex::build(self.query));
+        self
+    }
+}
+
+impl CombineJob for SqeJob<'_> {
+    type Input = Individual;
+    type Key = StratumId;
+    type MapOut = Individual;
+    type CombOut = IntermediateSample<Individual>;
+    type ReduceOut = Vec<Individual>;
+
+    fn map(&self, _ctx: &TaskCtx, t: &Individual, out: &mut Emitter<StratumId, Individual>) {
+        let stratum = match &self.index {
+            Some(index) => index.matching_stratum(self.query, t),
+            None => self.query.matching_stratum(t),
+        };
+        if let Some(k) = stratum {
+            out.emit(k, t.clone());
+        }
+    }
+
+    fn combine(
+        &self,
+        ctx: &TaskCtx,
+        key: &StratumId,
+        values: &mut dyn Iterator<Item = Individual>,
+    ) -> IntermediateSample<Individual> {
+        let f = self.query.stratum(*key).frequency;
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        let mut reservoir = Reservoir::new(f);
+        for t in values {
+            reservoir.observe(t, &mut rng);
+        }
+        let (sample, seen) = reservoir.into_parts();
+        IntermediateSample::new(sample, seen)
+    }
+
+    fn reduce(
+        &self,
+        ctx: &TaskCtx,
+        key: &StratumId,
+        values: Vec<IntermediateSample<Individual>>,
+    ) -> Vec<Individual> {
+        let f = self.query.stratum(*key).frequency;
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        unified_sampler(values, f, &mut rng)
+    }
+
+    fn input_bytes(&self, t: &Individual) -> u64 {
+        t.payload_bytes as u64
+    }
+
+    fn comb_bytes(&self, _key: &StratumId, s: &IntermediateSample<Individual>) -> u64 {
+        // the intermediate sample's projected tuples plus the (key, N̄) header
+        s.sample
+            .iter()
+            .map(crate::input::wire_bytes)
+            .sum::<u64>()
+            + 16
+    }
+}
+
+/// Run MR-SQE on pre-built input splits.
+pub fn mr_sqe_on_splits(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    query: &SsdQuery,
+    seed: u64,
+) -> SqeRun {
+    mr_sqe_with_job(cluster, splits, query, SqeJob::new(query), seed)
+}
+
+/// Run MR-SQE with the indexed matcher (identical answers, faster maps
+/// on many-strata rectangular queries).
+pub fn mr_sqe_indexed_on_splits(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    query: &SsdQuery,
+    seed: u64,
+) -> SqeRun {
+    mr_sqe_with_job(cluster, splits, query, SqeJob::new(query).with_index(), seed)
+}
+
+fn mr_sqe_with_job(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    query: &SsdQuery,
+    job: SqeJob<'_>,
+    seed: u64,
+) -> SqeRun {
+    let out = cluster.run_with_combiner(&job, splits, seed);
+    let mut answer = SsdAnswer::empty(query.len());
+    for (k, sample) in out.results {
+        *answer.stratum_mut(k) = sample;
+    }
+    SqeRun {
+        answer,
+        stats: out.stats,
+    }
+}
+
+/// Run MR-SQE over a distributed dataset.
+pub fn mr_sqe(
+    cluster: &Cluster,
+    data: &DistributedDataset,
+    query: &SsdQuery,
+    seed: u64,
+) -> SqeRun {
+    mr_sqe_on_splits(cluster, &crate::input::to_input_splits(data), query, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_sqe;
+    use crate::stats::{chi2_critical_999, chi2_uniform};
+    use stratmr_population::{AttrDef, AttrId, Dataset, Placement, Schema};
+    use stratmr_query::{Formula, StratumConstraint};
+
+    fn dataset(n: usize) -> Dataset {
+        let schema = Schema::new(vec![AttrDef::numeric("x", 0, 99)]);
+        let tuples = (0..n as u64)
+            .map(|i| Individual::new(i, vec![(i % 100) as i64], 1000))
+            .collect();
+        Dataset::new(schema, tuples)
+    }
+
+    fn two_strata_query(f1: usize, f2: usize) -> SsdQuery {
+        let x = AttrId(0);
+        SsdQuery::new(vec![
+            StratumConstraint::new(Formula::lt(x, 50), f1),
+            StratumConstraint::new(Formula::ge(x, 50), f2),
+        ])
+    }
+
+    #[test]
+    fn answer_satisfies_query() {
+        let data = dataset(2000).distribute(5, 10, Placement::RoundRobin);
+        let cluster = Cluster::new(5);
+        let q = two_strata_query(10, 20);
+        let run = mr_sqe(&cluster, &data, &q, 11);
+        assert!(run.answer.satisfies(&q));
+    }
+
+    #[test]
+    fn combiner_cuts_shuffle_relative_to_naive() {
+        let data = dataset(5000).distribute(5, 20, Placement::RoundRobin);
+        let cluster = Cluster::new(5);
+        let q = two_strata_query(5, 5);
+        let naive = naive_sqe(&cluster, &data, &q, 11);
+        let sqe = mr_sqe(&cluster, &data, &q, 11);
+        assert_eq!(naive.answer.stratum(0).len(), sqe.answer.stratum(0).len());
+        assert!(
+            sqe.stats.shuffle_bytes * 10 < naive.stats.shuffle_bytes,
+            "combiner should slash shuffle: {} vs {}",
+            sqe.stats.shuffle_bytes,
+            naive.stats.shuffle_bytes
+        );
+        // at most f tuples per (task, stratum) cross the network
+        assert!(sqe.stats.combine_output_pairs <= 20 * 2);
+    }
+
+    #[test]
+    fn deficient_stratum_collects_all() {
+        let data = dataset(30).distribute(3, 6, Placement::RoundRobin); // x = 0..29
+        let x = AttrId(0);
+        let q = SsdQuery::new(vec![StratumConstraint::new(Formula::lt(x, 4), 50)]);
+        let cluster = Cluster::new(3);
+        let run = mr_sqe(&cluster, &data, &q, 2);
+        assert_eq!(run.answer.stratum(0).len(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = dataset(500).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let q = two_strata_query(5, 5);
+        assert_eq!(
+            mr_sqe(&cluster, &data, &q, 7).answer,
+            mr_sqe(&cluster, &data, &q, 7).answer
+        );
+    }
+
+    #[test]
+    fn indexed_and_linear_matching_agree_exactly() {
+        let data = dataset(3000).distribute(4, 8, Placement::RoundRobin);
+        let splits = crate::input::to_input_splits(&data);
+        let cluster = Cluster::new(4);
+        // many banded strata, as in the paper's Large group
+        let x = AttrId(0);
+        let q = SsdQuery::new(
+            (0..20)
+                .map(|k| StratumConstraint::new(Formula::between(x, k * 5, k * 5 + 4), 2))
+                .collect(),
+        );
+        let plain = mr_sqe_on_splits(&cluster, &splits, &q, 31);
+        let indexed = super::mr_sqe_indexed_on_splits(&cluster, &splits, &q, 31);
+        assert_eq!(plain.answer, indexed.answer, "index changed the sample");
+        assert_eq!(plain.stats.map_output_records, indexed.stats.map_output_records);
+    }
+
+    /// The central §4.2 claim: MR-SQE is unbiased even when the data
+    /// placement is skewed so machines hold very different stratum
+    /// populations. Every individual of a stratum must be selected
+    /// equally often.
+    #[test]
+    fn unbiased_under_skewed_placement() {
+        let x = AttrId(0);
+        let schema = Schema::new(vec![AttrDef::numeric("x", 0, 99)]);
+        // 24 "men" (x = 0), placed so machine 1 holds 4 and machine 2
+        // holds 20 — the unequal-blocks scenario of §4.2.
+        let tuples: Vec<Individual> = (0..24u64).map(|i| Individual::new(i, vec![0], 10)).collect();
+        let data = Dataset::new(schema, tuples).distribute(2, 2, Placement::Contiguous);
+        let q = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(x, 0), 2)]);
+        let cluster = Cluster::new(2);
+        let trials = 8_000usize;
+        let mut counts = vec![0u64; 24];
+        for s in 0..trials {
+            let run = mr_sqe(&cluster, &data, &q, s as u64);
+            for t in run.answer.stratum(0) {
+                counts[t.id as usize] += 1;
+            }
+        }
+        let chi2 = chi2_uniform(&counts);
+        let crit = chi2_critical_999(23);
+        assert!(chi2 < crit, "MR-SQE biased: chi2 {chi2} >= {crit}\n{counts:?}");
+    }
+
+    /// Example 5 of the paper, verbatim: 64 individuals (30 men, 34
+    /// women) on two machines; 5 men and 6 women requested.
+    #[test]
+    fn paper_example_5() {
+        use stratmr_population::dataset::Split;
+        use stratmr_population::DistributedDataset;
+        let x = AttrId(0); // 0 = man, 1 = woman
+        let schema = Schema::new(vec![AttrDef::numeric("x", 0, 1)]);
+        // machine 1: 20 men, 16 women; machine 2: 10 men, 18 women
+        let mut id = 0u64;
+        let mut splits = Vec::new();
+        for (machine, &(men, women)) in [(20, 16), (10, 18)].iter().enumerate() {
+            let mut tuples = Vec::new();
+            for _ in 0..men {
+                tuples.push(Individual::new(id, vec![0], 10));
+                id += 1;
+            }
+            for _ in 0..women {
+                tuples.push(Individual::new(id, vec![1], 10));
+                id += 1;
+            }
+            splits.push(Split {
+                id: machine,
+                home_machine: machine,
+                tuples,
+            });
+        }
+        let data = DistributedDataset::from_splits(schema, 2, splits);
+        assert_eq!(data.splits()[0].tuples.len(), 36);
+        let q = SsdQuery::new(vec![
+            StratumConstraint::new(Formula::eq(x, 0), 5),
+            StratumConstraint::new(Formula::eq(x, 1), 6),
+        ]);
+        let cluster = Cluster::new(2);
+        let run = mr_sqe(&cluster, &data, &q, 3);
+        assert_eq!(run.answer.stratum(0).len(), 5);
+        assert_eq!(run.answer.stratum(1).len(), 6);
+        assert!(run.answer.satisfies(&q));
+    }
+}

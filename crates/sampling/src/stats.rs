@@ -1,0 +1,153 @@
+//! Statistical helpers used to *verify* the sampling algorithms.
+//!
+//! The paper's correctness argument (§4.2.3 and Remark 1) implies two
+//! testable facts: every equal-size subset is equally likely, and the
+//! positions of selected tuples inside a sub-relation follow a
+//! hypergeometric distribution. These helpers power the statistical unit
+//! and property tests.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = 0.999_999_999_999_809_9_f64;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        a += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Hypergeometric PMF: the probability of `y` successes in `x` draws
+/// (without replacement) from a population of `r` containing `c`
+/// successes — `C(c,y)·C(r−c, x−y) / C(r,x)`, the distribution of
+/// Remark 1.
+pub fn hypergeometric_pmf(r: u64, c: u64, x: u64, y: u64) -> f64 {
+    if y > x || y > c || x - y > r - c {
+        return 0.0;
+    }
+    (ln_choose(c, y) + ln_choose(r - c, x - y) - ln_choose(r, x)).exp()
+}
+
+/// Pearson chi-square statistic of observed counts against uniform
+/// expectation.
+pub fn chi2_uniform(observed: &[u64]) -> f64 {
+    let total: u64 = observed.iter().sum();
+    let expected = total as f64 / observed.len() as f64;
+    observed
+        .iter()
+        .map(|&o| (o as f64 - expected).powi(2) / expected)
+        .sum()
+}
+
+/// Pearson chi-square against explicit expected counts.
+pub fn chi2_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len());
+    observed
+        .iter()
+        .zip(expected)
+        .filter(|&(_, &e)| e > 0.0)
+        .map(|(&o, &e)| (o as f64 - e).powi(2) / e)
+        .sum()
+}
+
+/// Approximate 99.9th-percentile critical value of the chi-square
+/// distribution with `df` degrees of freedom (Wilson–Hilferty). Used so
+/// statistical tests fail with probability ~0.1% per test under H0 —
+/// and since all tests are seeded, a passing seed passes forever.
+pub fn chi2_critical_999(df: usize) -> f64 {
+    let df = df as f64;
+    let z = 3.090_232; // Φ⁻¹(0.999)
+    let t = 1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt();
+    df * t.powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        close(ln_gamma(1.0), 0.0, 1e-10);
+        close(ln_gamma(2.0), 0.0, 1e-10);
+        close(ln_gamma(5.0), (24.0_f64).ln(), 1e-9);
+        close(ln_gamma(11.0), (3_628_800.0_f64).ln(), 1e-8);
+        // Γ(1/2) = sqrt(pi)
+        close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-9);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        close(ln_choose(5, 2), (10.0_f64).ln(), 1e-9);
+        close(ln_choose(10, 0), 0.0, 1e-9);
+        close(ln_choose(10, 10), 0.0, 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        close(ln_choose(52, 5), (2_598_960.0_f64).ln(), 1e-8);
+    }
+
+    #[test]
+    fn hypergeometric_sums_to_one() {
+        let (r, c, x) = (30u64, 12u64, 7u64);
+        let total: f64 = (0..=x).map(|y| hypergeometric_pmf(r, c, x, y)).sum();
+        close(total, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn hypergeometric_known_value() {
+        // drawing 2 from 5 with 3 successes: P(y=1) = C(3,1)C(2,1)/C(5,2) = 6/10
+        close(hypergeometric_pmf(5, 3, 2, 1), 0.6, 1e-12);
+        // impossible outcomes are zero
+        assert_eq!(hypergeometric_pmf(5, 3, 2, 3), 0.0);
+        close(hypergeometric_pmf(5, 1, 2, 0), 0.6, 1e-9); // C(1,0)C(4,2)/C(5,2)=6/10
+    }
+
+    #[test]
+    fn chi2_uniform_zero_for_perfect_fit() {
+        assert_eq!(chi2_uniform(&[10, 10, 10, 10]), 0.0);
+        assert!(chi2_uniform(&[40, 0, 0, 0]) > 100.0);
+    }
+
+    #[test]
+    fn chi2_critical_approximation_in_range() {
+        // exact 0.999 quantiles: df=1 → 10.83, df=10 → 29.59, df=100 → 149.45
+        let c1 = chi2_critical_999(1);
+        assert!((9.0..13.0).contains(&c1), "{c1}");
+        let c10 = chi2_critical_999(10);
+        assert!((28.0..31.0).contains(&c10), "{c10}");
+        let c100 = chi2_critical_999(100);
+        assert!((147.0..152.0).contains(&c100), "{c100}");
+    }
+
+    #[test]
+    fn chi2_statistic_skips_zero_expectation() {
+        let stat = chi2_statistic(&[5, 0], &[5.0, 0.0]);
+        assert_eq!(stat, 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Why distributed sampling needs the unified sampler (§4.2).
+//!
+//! Two machines hold very different numbers of matching individuals
+//! (4 men on machine 1, 8 men on machine 2 — the paper's example).
+//! Unifying the machines' local samples with a plain uniform pick gives
+//! machine-1 men a 1/4 chance of selection and machine-2 men only 1/8;
+//! Algorithm 1's virtual-index draw restores the uniform 1/6.
+//!
+//! This example measures both strategies empirically.
+//!
+//! ```text
+//! cargo run --release --example bias_demo
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stratmr::sampling::reservoir::reservoir_sample;
+use stratmr::sampling::stats::{chi2_critical_999, chi2_uniform};
+use stratmr::sampling::unified::{unified_sampler, IntermediateSample};
+
+fn main() {
+    // machine 1 holds men 0..4, machine 2 holds men 4..12
+    let machines: [Vec<u32>; 2] = [(0..4).collect(), (4..12).collect()];
+    let population: usize = machines.iter().map(|m| m.len()).sum();
+    let n = 2; // sample size
+    let trials = 200_000;
+
+    let mut naive_counts = vec![0u64; population];
+    let mut unified_counts = vec![0u64; population];
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+
+    for _ in 0..trials {
+        // each machine runs Algorithm R locally (the combiner step)
+        let locals: Vec<IntermediateSample<u32>> = machines
+            .iter()
+            .map(|m| {
+                let (sample, seen) = reservoir_sample(m.iter().copied(), n, &mut rng);
+                IntermediateSample::new(sample, seen)
+            })
+            .collect();
+
+        // naive strategy: uniform pick over the union of local samples
+        let mut pool: Vec<u32> = locals.iter().flat_map(|s| s.sample.clone()).collect();
+        pool.shuffle(&mut rng);
+        for &v in pool.iter().take(n) {
+            naive_counts[v as usize] += 1;
+        }
+
+        // the paper's strategy: Algorithm 1
+        for v in unified_sampler(locals, n, &mut rng) {
+            unified_counts[v as usize] += 1;
+        }
+    }
+
+    let expected = (trials * n) as f64 / population as f64;
+    println!("each individual should be selected ≈ {expected:.0} times (p = 1/6)\n");
+    println!("          naive-union        unified-sampler");
+    for id in 0..population {
+        let machine = if id < 4 { 1 } else { 2 };
+        println!(
+            "man {id:>2} (machine {machine}):  {:>8}  ({:+5.1}%)   {:>8}  ({:+5.1}%)",
+            naive_counts[id],
+            100.0 * (naive_counts[id] as f64 / expected - 1.0),
+            unified_counts[id],
+            100.0 * (unified_counts[id] as f64 / expected - 1.0),
+        );
+    }
+
+    let crit = chi2_critical_999(population - 1);
+    let naive_chi2 = chi2_uniform(&naive_counts);
+    let unified_chi2 = chi2_uniform(&unified_counts);
+    println!("\nchi-square vs uniform (critical value at α=0.001: {crit:.1}):");
+    println!("  naive union     : {naive_chi2:>10.1}  → {}", verdict(naive_chi2, crit));
+    println!("  unified sampler : {unified_chi2:>10.1}  → {}", verdict(unified_chi2, crit));
+
+    assert!(naive_chi2 > crit, "naive bias should be detectable");
+    assert!(unified_chi2 < crit, "unified sampler must be unbiased");
+}
+
+fn verdict(chi2: f64, crit: f64) -> &'static str {
+    if chi2 > crit {
+        "BIASED (reject uniformity)"
+    } else {
+        "unbiased (uniformity holds)"
+    }
+}

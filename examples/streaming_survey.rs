@@ -1,0 +1,75 @@
+//! Streaming stratified sampling: maintain a live survey panel over an
+//! unbounded activity stream, then merge panels from independent
+//! regional streams without bias.
+//!
+//! ```text
+//! cargo run --release --example streaming_survey
+//! ```
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stratmr::population::{AttrDef, Individual, Schema};
+use stratmr::query::{Formula, SsdQuery, StratumConstraint};
+use stratmr::sampling::stream::{merge_streams, StreamingSampler};
+
+fn main() {
+    let schema = Schema::new(vec![
+        AttrDef::numeric("age", 13, 90),
+        AttrDef::categorical("region", &["east", "west"]),
+    ]);
+    let age = schema.attr_id("age").unwrap();
+
+    // design: a standing panel of 5 teens, 10 adults, 5 seniors
+    let query = SsdQuery::new(vec![
+        StratumConstraint::new(Formula::lt(age, 20), 5),
+        StratumConstraint::new(Formula::between(age, 20, 64), 10),
+        StratumConstraint::new(Formula::ge(age, 65), 5),
+    ]);
+
+    // two regional event streams of different rates
+    let mut east = StreamingSampler::new(query.clone(), 1);
+    let mut west = StreamingSampler::new(query.clone(), 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut id = 0u64;
+    println!("day  east-seen  west-seen  snapshot(panel sizes)");
+    for day in 1..=7 {
+        // east is busier than west
+        for _ in 0..5_000 {
+            east.observe(&Individual::new(id, vec![rng.gen_range(13..=90), 0], 0));
+            id += 1;
+        }
+        for _ in 0..1_000 {
+            west.observe(&Individual::new(id, vec![rng.gen_range(13..=90), 1], 0));
+            id += 1;
+        }
+        let snap = east.snapshot();
+        println!(
+            "{day:>3}  {:>9}  {:>9}  [{}, {}, {}] (east panel, valid at any instant)",
+            east.observed(),
+            west.observed(),
+            snap.stratum(0).len(),
+            snap.stratum(1).len(),
+            snap.stratum(2).len(),
+        );
+    }
+
+    // end of week: merge the two regional panels without bias — east
+    // members must be weighted by the east stream's larger population
+    let total_east = east.observed();
+    let total_west = west.observed();
+    let merged = merge_streams(
+        &query,
+        vec![east.into_partials(), west.into_partials()],
+        99,
+    );
+    assert!(merged.satisfies(&query));
+    let region = schema.attr_id("region").unwrap();
+    let east_members = merged.iter().filter(|t| t.get(region) == 0).count();
+    println!(
+        "\nmerged national panel: {} members, {east_members} from east — \
+         tracking the {:.0}%/{:.0}% regional split",
+        merged.len(),
+        100.0 * total_east as f64 / (total_east + total_west) as f64,
+        100.0 * total_west as f64 / (total_east + total_west) as f64,
+    );
+}

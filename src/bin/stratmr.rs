@@ -1,0 +1,16 @@
+//! The `stratmr` command-line entry point; see [`stratmr::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match stratmr::cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = stratmr::cli::run(command) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
