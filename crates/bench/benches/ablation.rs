@@ -8,9 +8,9 @@
 //!   extension.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 use stratmr_mapreduce::Cluster;
 use stratmr_population::dblp::{DblpConfig, DblpGenerator};
 use stratmr_population::Placement;
@@ -107,12 +107,7 @@ fn bench_stratum_index(c: &mut Criterion) {
     let qgen = QueryGenerator::new(DblpGenerator::schema());
     let mut rng = ChaCha8Rng::seed_from_u64(6);
     // the Large shape: 256 strata per SSD
-    let query = qgen.generate_ssd_proportional(
-        &GroupSpec::LARGE,
-        5_000,
-        data.tuples(),
-        &mut rng,
-    );
+    let query = qgen.generate_ssd_proportional(&GroupSpec::LARGE, 5_000, data.tuples(), &mut rng);
     let index = StratumIndex::build(&query);
     let mut group = c.benchmark_group("ablation/stratum_match");
     group.bench_function("linear_scan", |b| {

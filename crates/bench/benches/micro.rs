@@ -1,9 +1,9 @@
 //! Micro-benchmarks of the core algorithmic building blocks.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use std::time::Duration;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 use stratmr_lp::{solve_ip, solve_lp, Problem, Relation};
 use stratmr_population::dblp::{DblpConfig, DblpGenerator};
 use stratmr_query::{Formula, SsdQuery, StratumConstraint};

@@ -71,8 +71,7 @@ fn bench_mqe_and_cps(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(
-                mr_cps_on_splits(&e.cluster, &e.splits, &mssd, CpsConfig::mr_cps(), seed)
-                    .unwrap(),
+                mr_cps_on_splits(&e.cluster, &e.splits, &mssd, CpsConfig::mr_cps(), seed).unwrap(),
             )
         })
     });

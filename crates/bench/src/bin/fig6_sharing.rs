@@ -9,7 +9,7 @@
 //! ```
 
 use serde::Serialize;
-use stratmr_bench::{report, BenchEnv, Table};
+use stratmr_bench::{report, telemetry, BenchEnv, Table};
 use stratmr_query::GroupSpec;
 use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
 use stratmr_sampling::mqe::mr_mqe_on_splits;
@@ -25,10 +25,11 @@ struct Record {
 }
 
 fn main() {
+    let sink = telemetry::from_args();
     let env = BenchEnv::from_env();
     let sample_size = env.config.scales[env.config.scales.len() / 2];
     let runs = env.config.runs;
-    let cluster = env.cluster(env.config.machines);
+    let cluster = telemetry::attach(env.cluster(env.config.machines), sink.as_ref());
     println!(
         "Figure 6 — %% of individuals assigned to i surveys by MR-CPS \
          (population {}, sample {}, {} runs)\n",
@@ -36,9 +37,7 @@ fn main() {
     );
 
     let max_n = GroupSpec::LARGE.n_ssds;
-    let mut table = Table::new(&[
-        "i", "Small", "Medium", "Large",
-    ]);
+    let mut table = Table::new(&["i", "Small", "Medium", "Large"]);
     let mut columns: Vec<Vec<f64>> = Vec::new();
     let mut records = Vec::new();
     for spec in &GroupSpec::ALL {
@@ -99,4 +98,5 @@ fn main() {
     table.print();
     let path = report::write_record("fig6_sharing", &records).unwrap();
     println!("\nrecord: {}", path.display());
+    telemetry::finish(sink);
 }

@@ -12,11 +12,12 @@
 //! in the JSON output for reference.
 //!
 //! ```text
-//! cargo run --release -p stratmr-bench --bin fig7_running_times
+//! cargo run --release -p stratmr-bench --bin fig7_running_times -- \
+//!     --telemetry fig7_telemetry.json   # optional observability dump
 //! ```
 
 use serde::Serialize;
-use stratmr_bench::{report, BenchEnv, Table};
+use stratmr_bench::{report, telemetry, BenchEnv, Table};
 use stratmr_query::GroupSpec;
 use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
 use stratmr_sampling::mqe::mr_mqe_on_splits;
@@ -36,6 +37,7 @@ struct Record {
 }
 
 fn main() {
+    let sink = telemetry::from_args();
     let env = BenchEnv::from_env();
     let slaves_configs = [1usize, 5, 10];
     println!(
@@ -53,12 +55,11 @@ fn main() {
             let mssd = env.group(spec, scale, 4000);
             let mut cells = vec![format!("{}~{}", spec.name, scale)];
             for &slaves in &slaves_configs {
-                let cluster = env.cluster(slaves);
+                let cluster = telemetry::attach(env.cluster(slaves), sink.as_ref());
                 let mqe = mr_mqe_on_splits(&cluster, &env.splits, mssd.queries(), None, 42);
                 let mqe_min = mqe.stats.sim.makespan_us / 60e6;
-                let cps =
-                    mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::mr_cps(), 42)
-                        .expect("solvable");
+                let cps = mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::mr_cps(), 42)
+                    .expect("solvable");
                 let cps_min: f64 = cps
                     .phase_stats
                     .iter()
@@ -119,4 +120,5 @@ fn main() {
     );
     let path = report::write_record("fig7_running_times", &records).unwrap();
     println!("record: {}", path.display());
+    telemetry::finish(sink);
 }

@@ -10,7 +10,7 @@
 //! ```
 
 use serde::Serialize;
-use stratmr_bench::{fmt_duration_s, report, BenchEnv, Table};
+use stratmr_bench::{fmt_duration_s, report, telemetry, BenchEnv, Table};
 use stratmr_query::GroupSpec;
 use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
 
@@ -28,9 +28,10 @@ struct Record {
 }
 
 fn main() {
+    let sink = telemetry::from_args();
     let env = BenchEnv::from_env();
     let runs = env.config.runs.clamp(1, 10);
-    let cluster = env.cluster(env.config.machines);
+    let cluster = telemetry::attach(env.cluster(env.config.machines), sink.as_ref());
     println!(
         "Figure 8 — LP formulation + solving time in MR-CPS \
          (population {}, {} runs per point)\n",
@@ -109,4 +110,5 @@ fn main() {
     );
     let path = report::write_record("fig8_lp_times", &records).unwrap();
     println!("record: {}", path.display());
+    telemetry::finish(sink);
 }

@@ -17,7 +17,7 @@
 //! ```
 
 use serde::Serialize;
-use stratmr_bench::{report, BenchEnv, Table};
+use stratmr_bench::{report, telemetry, BenchEnv, Table};
 use stratmr_query::GroupSpec;
 use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
 
@@ -36,10 +36,11 @@ struct Record {
 }
 
 fn main() {
+    let sink = telemetry::from_args();
     let env = BenchEnv::from_env();
     let runs = env.config.runs.clamp(1, 10);
     let sample_size = env.config.scales[env.config.scales.len() / 2];
-    let cluster = env.cluster(env.config.machines);
+    let cluster = telemetry::attach(env.cluster(env.config.machines), sink.as_ref());
     println!(
         "§6.2.2 — optimality of MR-CPS (population {}, sample {}, {} runs)\n",
         env.config.population, sample_size, runs
@@ -66,20 +67,18 @@ fn main() {
         for run in 0..runs {
             let mssd = env.group(spec, sample_size, 6000 + run as u64);
             let seed = 800 + run as u64;
-            let lp_run =
-                mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::mr_cps(), seed)
-                    .expect("LP solvable");
-            let ip_run =
-                mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::exact(), seed)
-                    .expect("IP solvable");
+            let lp_run = mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::mr_cps(), seed)
+                .expect("LP solvable");
+            let ip_run = mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::exact(), seed)
+                .expect("IP solvable");
             let c_lp = lp_run.solver_objective;
             let c_ip = ip_run.solver_objective;
             let c_a = lp_run.cost;
             if !(c_lp <= c_ip + 1e-6 && c_ip <= c_a + 1e-6) {
                 violations += 1;
             }
-            let frac = lp_run.residual_selections as f64
-                / lp_run.answer.total_selections().max(1) as f64;
+            let frac =
+                lp_run.residual_selections as f64 / lp_run.answer.total_selections().max(1) as f64;
             res_sum += frac;
             res_max = res_max.max(frac);
             lp_sum += c_lp;
@@ -119,4 +118,5 @@ fn main() {
     );
     let path = report::write_record("optimality", &records).unwrap();
     println!("record: {}", path.display());
+    telemetry::finish(sink);
 }

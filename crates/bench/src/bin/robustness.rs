@@ -13,7 +13,7 @@
 //! ```
 
 use serde::Serialize;
-use stratmr_bench::{report, BenchEnv, Table};
+use stratmr_bench::{report, telemetry, BenchEnv, Table};
 use stratmr_mapreduce::Cluster;
 use stratmr_query::GroupSpec;
 use stratmr_sampling::mqe::mr_mqe_on_splits;
@@ -29,6 +29,7 @@ struct Record {
 }
 
 fn main() {
+    let sink = telemetry::from_args();
     let env = BenchEnv::from_env();
     let scale = env.config.scales[env.config.scales.len() / 2];
     let mssd = env.group(&GroupSpec::MEDIUM, scale, 4100);
@@ -38,17 +39,32 @@ fn main() {
         env.config.population
     );
 
-    let mut table = Table::new(&["condition", "slaves", "time (min)", "retries", "same answer"]);
+    let mut table = Table::new(&[
+        "condition",
+        "slaves",
+        "time (min)",
+        "retries",
+        "same answer",
+    ]);
     let mut records = Vec::new();
     for &slaves in &[5usize, 10] {
         let conditions: Vec<(&str, Cluster)> = vec![
-            ("healthy", Cluster::new(slaves)),
+            (
+                "healthy",
+                telemetry::attach(Cluster::new(slaves), sink.as_ref()),
+            ),
             ("one straggler (3× slow)", {
                 let mut speeds = vec![1.0; slaves];
                 speeds[slaves - 1] = 3.0;
-                Cluster::new(slaves).with_machine_slowness(speeds)
+                telemetry::attach(
+                    Cluster::new(slaves).with_machine_slowness(speeds),
+                    sink.as_ref(),
+                )
             }),
-            ("10% task failures", Cluster::new(slaves).with_failures(0.10)),
+            (
+                "10% task failures",
+                telemetry::attach(Cluster::new(slaves).with_failures(0.10), sink.as_ref()),
+            ),
         ];
         let healthy_answer =
             mr_mqe_on_splits(&conditions[0].1, &env.splits, mssd.queries(), None, 77).answer;
@@ -85,4 +101,5 @@ fn main() {
     );
     let path = report::write_record("robustness", &records).unwrap();
     println!("record: {}", path.display());
+    telemetry::finish(sink);
 }

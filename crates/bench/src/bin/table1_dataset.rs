@@ -43,7 +43,13 @@ fn main() {
 
     let qs = [0.25, 0.50, 0.75, 0.95];
     let mut table = Table::new(&[
-        "attr", "domain", "q25 spec/gen", "q50 spec/gen", "q75 spec/gen", "q95 spec/gen", "KS",
+        "attr",
+        "domain",
+        "q25 spec/gen",
+        "q50 spec/gen",
+        "q75 spec/gen",
+        "q95 spec/gen",
+        "KS",
     ]);
     let mut records = Vec::new();
     for name in DBLP_ATTRS {

@@ -10,7 +10,7 @@
 //! `--uniform` reruns on the §6.2.1 uniform synthetic dataset.
 
 use serde::Serialize;
-use stratmr_bench::{report, BenchConfig, BenchEnv, Table};
+use stratmr_bench::{report, telemetry, BenchConfig, BenchEnv, Table};
 use stratmr_query::GroupSpec;
 use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
 use stratmr_sampling::mqe::mr_mqe_on_splits;
@@ -29,6 +29,7 @@ struct Record {
 }
 
 fn main() {
+    let sink = telemetry::from_args();
     let uniform = std::env::args().any(|a| a == "--uniform");
     let mut config = BenchConfig::from_env();
     config.uniform = uniform;
@@ -43,15 +44,9 @@ fn main() {
         env.config.population, sample_size, runs
     );
 
-    let cluster = env.cluster(env.config.machines);
+    let cluster = telemetry::attach(env.cluster(env.config.machines), sink.as_ref());
     let paper = [62.0, 51.0, 47.0];
-    let mut table = Table::new(&[
-        "group",
-        "avg cost MQE",
-        "avg cost CPS",
-        "CPS/MQE",
-        "paper",
-    ]);
+    let mut table = Table::new(&["group", "avg cost MQE", "avg cost CPS", "CPS/MQE", "paper"]);
     let mut records = Vec::new();
     for (g, spec) in GroupSpec::ALL.iter().enumerate() {
         let mut mqe_total = 0.0;
@@ -91,4 +86,5 @@ fn main() {
     table.print();
     let path = report::write_record(&format!("table2_{dataset}"), &records).unwrap();
     println!("\nrecord: {}", path.display());
+    telemetry::finish(sink);
 }

@@ -49,10 +49,7 @@ impl BenchConfig {
             cfg.runs = v;
         }
         if let Ok(s) = std::env::var("STRATMR_SCALES") {
-            let scales: Vec<usize> = s
-                .split(',')
-                .filter_map(|p| p.trim().parse().ok())
-                .collect();
+            let scales: Vec<usize> = s.split(',').filter_map(|p| p.trim().parse().ok()).collect();
             if !scales.is_empty() {
                 cfg.scales = scales;
             }

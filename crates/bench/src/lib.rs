@@ -18,11 +18,19 @@
 //! * `STRATMR_POP` — population size (default 100 000)
 //! * `STRATMR_RUNS` — repetitions for averaged statistics (default 20)
 //! * `STRATMR_SCALES` — comma-separated sample sizes (default `100,1000,10000`)
+//!
+//! Every binary also accepts `--telemetry <out.json>`: a
+//! [`stratmr_telemetry::Registry`] is threaded through the simulated
+//! clusters (and from there into the sampling jobs and LP/IP solvers)
+//! and its final snapshot — counters, histograms and phase spans — is
+//! written to the given path as JSON.
 
 #![warn(missing_docs)]
 
 pub mod env;
 pub mod report;
+pub mod telemetry;
 
 pub use env::{BenchConfig, BenchEnv};
 pub use report::{fmt_duration_s, Table};
+pub use telemetry::TelemetrySink;

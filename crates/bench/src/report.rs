@@ -76,10 +76,9 @@ pub fn fmt_duration_s(secs: f64) -> String {
 /// Write an experiment record as JSON under `target/experiments/`, so
 /// EXPERIMENTS.md entries are backed by machine-readable data.
 pub fn write_record<T: Serialize>(name: &str, record: &T) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(record)

@@ -1,0 +1,79 @@
+//! The `--telemetry <out.json>` flag shared by the bench binaries.
+//!
+//! When present, a [`Registry`] is threaded through every simulated
+//! cluster (and, via the cluster, into the sampling jobs and LP/IP
+//! solvers), and the final snapshot is written to the given path as
+//! JSON on exit:
+//!
+//! ```text
+//! cargo run --release -p stratmr-bench --bin fig7_running_times -- \
+//!     --telemetry fig7_telemetry.json
+//! ```
+
+use std::path::PathBuf;
+use stratmr_mapreduce::Cluster;
+use stratmr_telemetry::Registry;
+
+/// A telemetry sink requested on the command line.
+pub struct TelemetrySink {
+    /// The registry collecting counters, histograms and spans.
+    pub registry: Registry,
+    path: PathBuf,
+}
+
+impl TelemetrySink {
+    /// Write the registry snapshot as JSON to the requested path.
+    pub fn write(&self) -> std::io::Result<&std::path::Path> {
+        std::fs::write(&self.path, self.registry.snapshot().to_json())?;
+        Ok(&self.path)
+    }
+}
+
+/// Parse `--telemetry <path>` (or `--telemetry=<path>`) from the
+/// process arguments. Returns `None` when the flag is absent; exits
+/// with a usage error when the path operand is missing.
+pub fn from_args() -> Option<TelemetrySink> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--telemetry" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("usage: --telemetry <out.json>");
+                std::process::exit(2);
+            });
+            return Some(TelemetrySink {
+                registry: Registry::new(),
+                path: path.into(),
+            });
+        }
+        if let Some(p) = a.strip_prefix("--telemetry=") {
+            return Some(TelemetrySink {
+                registry: Registry::new(),
+                path: p.into(),
+            });
+        }
+    }
+    None
+}
+
+/// Attach the sink's registry to a cluster (no-op without a sink).
+pub fn attach(cluster: Cluster, sink: Option<&TelemetrySink>) -> Cluster {
+    match sink {
+        Some(s) => cluster.with_telemetry(s.registry.clone()),
+        None => cluster,
+    }
+}
+
+/// Write the telemetry JSON (if a sink is active) and report the path.
+/// An unwritable path is reported on stderr and exits with status 1 so
+/// a scripted run notices the missing dump.
+pub fn finish(sink: Option<TelemetrySink>) {
+    if let Some(s) = sink {
+        match s.write() {
+            Ok(path) => println!("telemetry: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write telemetry to {}: {e}", s.path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

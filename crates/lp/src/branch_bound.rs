@@ -6,7 +6,8 @@
 //! This module provides the exact IP solve used for that comparison.
 
 use crate::problem::{LpError, Problem, Relation, Solution};
-use crate::simplex::solve_lp;
+use crate::simplex::solve_lp_counted;
+use stratmr_telemetry::Registry;
 
 /// How close to an integer a relaxation value must be to count as
 /// integral.
@@ -17,10 +18,48 @@ const INT_TOL: f64 = 1e-6;
 /// them exactly only for the optimality analysis).
 const MAX_NODES: usize = 200_000;
 
+/// Search-effort counts of one branch-and-bound solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchBoundStats {
+    /// Nodes popped from the search stack (including pruned ones).
+    pub nodes: u64,
+    /// LP relaxations solved (root plus one per non-pruned child).
+    pub lp_relaxations: u64,
+    /// Simplex pivots summed over all relaxations.
+    pub pivots: u64,
+}
+
 /// Solve `problem` with **all** variables restricted to non-negative
 /// integers, by LP-based branch and bound (best-first on the relaxation
 /// bound, branching on the most fractional variable).
 pub fn solve_ip(problem: &Problem) -> Result<Solution, LpError> {
+    solve_ip_counted(problem).map(|(s, _)| s)
+}
+
+/// [`solve_ip`] with telemetry: records the `ip.solves`, `ip.nodes`,
+/// `ip.lp_relaxations`, `ip.pivots` and `ip.errors` counters and times
+/// the solve under an `ip.solve` span.
+pub fn solve_ip_traced(problem: &Problem, registry: &Registry) -> Result<Solution, LpError> {
+    let _span = registry.span("ip.solve");
+    match solve_ip_counted(problem) {
+        Ok((solution, stats)) => {
+            registry.counter("ip.solves").inc();
+            registry.counter("ip.nodes").add(stats.nodes);
+            registry
+                .counter("ip.lp_relaxations")
+                .add(stats.lp_relaxations);
+            registry.counter("ip.pivots").add(stats.pivots);
+            Ok(solution)
+        }
+        Err(e) => {
+            registry.counter("ip.errors").inc();
+            Err(e)
+        }
+    }
+}
+
+/// [`solve_ip`], also reporting how much search effort was spent.
+pub fn solve_ip_counted(problem: &Problem) -> Result<(Solution, BranchBoundStats), LpError> {
     // Each node is the base problem plus a set of variable bounds,
     // represented as extra constraints.
     struct Node {
@@ -29,7 +68,10 @@ pub fn solve_ip(problem: &Problem) -> Result<Solution, LpError> {
         relax: Vec<f64>,                    // LP relaxation point
     }
 
-    let root_relax = solve_lp(problem)?;
+    let mut stats = BranchBoundStats::default();
+    let (root_relax, root_pivots) = solve_lp_counted(problem)?;
+    stats.lp_relaxations = 1;
+    stats.pivots = root_pivots.pivots();
     let mut incumbent: Option<Solution> = None;
     let mut stack = vec![Node {
         extra: Vec::new(),
@@ -40,6 +82,7 @@ pub fn solve_ip(problem: &Problem) -> Result<Solution, LpError> {
 
     while let Some(node) = stack.pop() {
         nodes += 1;
+        stats.nodes += 1;
         if nodes > MAX_NODES {
             return Err(LpError::IterationLimit);
         }
@@ -72,18 +115,17 @@ pub fn solve_ip(problem: &Problem) -> Result<Solution, LpError> {
             }
             Some((var, _)) => {
                 let v = node.relax[var];
-                for (rel, bound) in [
-                    (Relation::Le, v.floor()),
-                    (Relation::Ge, v.floor() + 1.0),
-                ] {
+                for (rel, bound) in [(Relation::Le, v.floor()), (Relation::Ge, v.floor() + 1.0)] {
                     let mut extra = node.extra.clone();
                     extra.push((var, rel, bound));
                     let mut sub = problem.clone();
                     for &(xv, xrel, xb) in &extra {
                         sub.add_constraint(vec![(xv, 1.0)], xrel, xb);
                     }
-                    match solve_lp(&sub) {
-                        Ok(relax) => {
+                    stats.lp_relaxations += 1;
+                    match solve_lp_counted(&sub) {
+                        Ok((relax, pivots)) => {
+                            stats.pivots += pivots.pivots();
                             let prune = incumbent
                                 .as_ref()
                                 .is_some_and(|best| relax.objective >= best.objective - 1e-9);
@@ -113,13 +155,14 @@ pub fn solve_ip(problem: &Problem) -> Result<Solution, LpError> {
         }
     }
 
-    incumbent.ok_or(LpError::Infeasible)
+    incumbent.map(|s| (s, stats)).ok_or(LpError::Infeasible)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::problem::Problem;
+    use crate::simplex::solve_lp;
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
@@ -206,6 +249,38 @@ mod tests {
         assert_close(lp.objective, 1.5);
         let ip = solve_ip(&p).unwrap();
         assert_close(ip.objective, 2.0);
+    }
+
+    #[test]
+    fn counted_solve_reports_search_effort() {
+        // the triangle vertex-cover instance needs real branching
+        let mut p = Problem::new();
+        let v: Vec<_> = (0..3).map(|_| p.add_var(1.0)).collect();
+        for (i, j) in [(0, 1), (1, 2), (0, 2)] {
+            p.add_constraint(vec![(v[i], 1.0), (v[j], 1.0)], Relation::Ge, 1.0);
+        }
+        let (s, stats) = solve_ip_counted(&p).unwrap();
+        assert_close(s.objective, 2.0);
+        assert!(stats.nodes >= 2, "fractional root must branch: {stats:?}");
+        assert!(stats.lp_relaxations > stats.nodes / 2);
+        assert!(stats.pivots > 0);
+    }
+
+    #[test]
+    fn traced_solve_records_counters_and_span() {
+        use stratmr_telemetry::Registry;
+        let registry = Registry::new();
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(vec![(x, 2.0), (y, 2.0)], Relation::Ge, 3.0);
+        let s = solve_ip_traced(&p, &registry).unwrap();
+        assert_close(s.objective, 2.0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ip.solves"), 1);
+        assert!(snap.counter("ip.nodes") >= 1);
+        assert!(snap.counter("ip.lp_relaxations") >= 1);
+        assert_eq!(snap.span_calls("ip.solve"), 1);
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod branch_bound;
 pub mod problem;
 pub mod simplex;
 
-pub use branch_bound::solve_ip;
+pub use branch_bound::{solve_ip, solve_ip_counted, solve_ip_traced, BranchBoundStats};
 pub use problem::{Constraint, LpError, Problem, Relation, Solution, VarId};
-pub use simplex::solve_lp;
+pub use simplex::{solve_lp, solve_lp_counted, solve_lp_traced, SimplexStats};

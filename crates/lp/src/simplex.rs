@@ -8,16 +8,64 @@
 //! solved in seconds.
 
 use crate::problem::{LpError, Problem, Relation, Solution};
+use stratmr_telemetry::Registry;
 
 const EPS: f64 = 1e-9;
 
 /// Pivot budget; generous relative to the paper's problem sizes.
 const MAX_PIVOTS: usize = 200_000;
 
+/// Pivot counts of one simplex solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplexStats {
+    /// Pivots spent finding a basic feasible solution (phase 1,
+    /// including the drive-out of leftover artificials).
+    pub phase1_pivots: u64,
+    /// Pivots spent optimizing the real objective (phase 2).
+    pub phase2_pivots: u64,
+}
+
+impl SimplexStats {
+    /// Total pivots across both phases.
+    pub fn pivots(&self) -> u64 {
+        self.phase1_pivots + self.phase2_pivots
+    }
+}
+
 /// Solve the linear relaxation of `problem` (all variables continuous,
 /// non-negative). Returns the optimal solution, or why none exists.
 pub fn solve_lp(problem: &Problem) -> Result<Solution, LpError> {
+    solve_lp_counted(problem).map(|(s, _)| s)
+}
+
+/// [`solve_lp`], also reporting how many pivots each phase performed.
+pub fn solve_lp_counted(problem: &Problem) -> Result<(Solution, SimplexStats), LpError> {
     Tableau::build(problem)?.solve(problem)
+}
+
+/// [`solve_lp`] with telemetry: records the `lp.solves`, `lp.pivots`,
+/// `lp.pivots.phase1`, `lp.pivots.phase2` and `lp.errors` counters and
+/// times the solve under an `lp.solve` span (nested under whatever span
+/// the caller holds open).
+pub fn solve_lp_traced(problem: &Problem, registry: &Registry) -> Result<Solution, LpError> {
+    let _span = registry.span("lp.solve");
+    match solve_lp_counted(problem) {
+        Ok((solution, stats)) => {
+            registry.counter("lp.solves").inc();
+            registry.counter("lp.pivots").add(stats.pivots());
+            registry
+                .counter("lp.pivots.phase1")
+                .add(stats.phase1_pivots);
+            registry
+                .counter("lp.pivots.phase2")
+                .add(stats.phase2_pivots);
+            Ok(solution)
+        }
+        Err(e) => {
+            registry.counter("lp.errors").inc();
+            Err(e)
+        }
+    }
 }
 
 /// Dense simplex tableau.
@@ -108,24 +156,25 @@ impl Tableau {
         &mut self.data[r * self.cols + c]
     }
 
-    fn solve(mut self, problem: &Problem) -> Result<Solution, LpError> {
+    fn solve(mut self, problem: &Problem) -> Result<(Solution, SimplexStats), LpError> {
         let m = self.rows - 1;
         let has_artificials = self.art_start < self.cols - 1;
+        let mut stats = SimplexStats::default();
 
         if has_artificials {
             // Phase 1: minimize the sum of artificials.
             self.set_phase1_objective();
-            self.pivot_until_optimal(self.cols - 1)?;
+            stats.phase1_pivots += self.pivot_until_optimal(self.cols - 1)?;
             let phase1_obj = -self.at(m, self.cols - 1);
             if phase1_obj > 1e-7 {
                 return Err(LpError::Infeasible);
             }
-            self.drive_out_artificials();
+            stats.phase1_pivots += self.drive_out_artificials();
         }
 
         // Phase 2: the original objective, restricted to non-artificials.
         self.set_phase2_objective(problem);
-        self.pivot_until_optimal(self.art_start)?;
+        stats.phase2_pivots += self.pivot_until_optimal(self.art_start)?;
 
         // extract solution
         let mut values = vec![0.0; problem.n_vars()];
@@ -134,10 +183,13 @@ impl Tableau {
                 values[b] = self.at(row, self.cols - 1).max(0.0);
             }
         }
-        Ok(Solution {
-            objective: problem.objective_value(&values),
-            values,
-        })
+        Ok((
+            Solution {
+                objective: problem.objective_value(&values),
+                values,
+            },
+            stats,
+        ))
     }
 
     /// Install the phase-1 objective row: minimize Σ artificials, priced
@@ -184,9 +236,11 @@ impl Tableau {
     }
 
     /// After phase 1, pivot any artificial still in the basis (at zero
-    /// level) out, or mark its row as redundant.
-    fn drive_out_artificials(&mut self) {
+    /// level) out, or mark its row as redundant. Returns the number of
+    /// pivots performed.
+    fn drive_out_artificials(&mut self) -> u64 {
         let m = self.rows - 1;
+        let mut pivots = 0;
         for row in 0..m {
             if self.basis[row] < self.art_start {
                 continue;
@@ -195,23 +249,26 @@ impl Tableau {
             let col = (0..self.art_start).find(|&c| self.at(row, c).abs() > 1e-7);
             if let Some(col) = col {
                 self.pivot(row, col);
+                pivots += 1;
             }
             // otherwise the row is all-zero over structural variables
             // (redundant constraint); the artificial stays basic at 0,
             // which is harmless because artificials never re-enter.
         }
+        pivots
     }
 
     /// Bland's-rule pivoting until no reduced cost is negative.
     /// `enter_limit` bounds the columns allowed to enter (exclude
-    /// artificials in phase 2, and the RHS always).
-    fn pivot_until_optimal(&mut self, enter_limit: usize) -> Result<(), LpError> {
+    /// artificials in phase 2, and the RHS always). Returns the number
+    /// of pivots performed.
+    fn pivot_until_optimal(&mut self, enter_limit: usize) -> Result<u64, LpError> {
         let m = self.rows - 1;
-        for _ in 0..MAX_PIVOTS {
+        for done in 0..MAX_PIVOTS {
             // Bland: entering = lowest-index column with negative reduced cost
             let entering = (0..enter_limit).find(|&c| self.at(m, c) < -EPS);
             let Some(entering) = entering else {
-                return Ok(());
+                return Ok(done as u64);
             };
             // ratio test; Bland tiebreak on lowest basis index
             let mut leave: Option<(usize, f64)> = None;
@@ -412,6 +469,43 @@ mod tests {
         assert_close(s.values[x12], 2.0);
         assert_close(s.values[x1], 1.0);
         assert_close(s.values[x2], 0.0);
+    }
+
+    #[test]
+    fn counted_solve_reports_pivots() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        let (s, stats) = solve_lp_counted(&p).unwrap();
+        assert_close(s.objective, 4.0);
+        assert!(stats.pivots() > 0, "a ≥-constraint forces phase-1 pivots");
+        assert_eq!(stats.pivots(), stats.phase1_pivots + stats.phase2_pivots);
+    }
+
+    #[test]
+    fn traced_solve_records_counters_and_span() {
+        use stratmr_telemetry::Registry;
+        let registry = Registry::new();
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 5.0);
+        let s = solve_lp_traced(&p, &registry).unwrap();
+        assert_close(s.values[x], 5.0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("lp.solves"), 1);
+        assert_eq!(
+            snap.counter("lp.pivots"),
+            snap.counter("lp.pivots.phase1") + snap.counter("lp.pivots.phase2")
+        );
+        assert_eq!(snap.span_calls("lp.solve"), 1);
+
+        // infeasible problems land in lp.errors, not lp.solves
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        assert_eq!(solve_lp_traced(&p, &registry), Err(LpError::Infeasible));
+        assert_eq!(registry.snapshot().counter("lp.errors"), 1);
+        assert_eq!(registry.snapshot().counter("lp.solves"), 1);
     }
 
     #[test]

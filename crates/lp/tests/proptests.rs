@@ -10,11 +10,7 @@ use stratmr_lp::{solve_ip, solve_lp, LpError, Problem, Relation};
 
 /// Build a problem that the point `x0` satisfies: for random rows `a`,
 /// add `a·x ≤ a·x0 + slack` or `a·x ≥ a·x0 − slack`.
-fn problem_around(
-    x0: &[f64],
-    rows: &[(Vec<f64>, bool, f64)],
-    costs: &[f64],
-) -> Problem {
+fn problem_around(x0: &[f64], rows: &[(Vec<f64>, bool, f64)], costs: &[f64]) -> Problem {
     let mut p = Problem::new();
     for &c in costs {
         p.add_var(c);

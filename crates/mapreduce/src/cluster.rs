@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
+use stratmr_telemetry::{Counter, Registry};
 
 /// Record/byte counters and timings of one executed job.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -76,6 +77,8 @@ pub struct Cluster {
     speeds: Vec<f64>,
     /// Probability that any task attempt fails and is retried.
     failure_prob: f64,
+    /// Optional metrics sink; clones of the cluster share it.
+    telemetry: Option<Registry>,
 }
 
 impl Cluster {
@@ -89,6 +92,7 @@ impl Cluster {
             costs: CostConfig::default(),
             speeds: vec![1.0; machines],
             failure_prob: 0.0,
+            telemetry: None,
         }
     }
 
@@ -132,6 +136,21 @@ impl Cluster {
         assert!((0.0..1.0).contains(&prob), "prob must be in [0, 1)");
         self.failure_prob = prob;
         self
+    }
+
+    /// Attach a telemetry registry. Every job run on this cluster then
+    /// emits per-phase spans (`mr.job/{map,combine,shuffle,reduce}`)
+    /// and `mr.*` event counters that independently re-derive the
+    /// [`JobStats`] accounting (see `tests/telemetry.rs` for the
+    /// cross-check). Counters are cumulative across jobs.
+    pub fn with_telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref()
     }
 
     /// Number of failed attempts before task `task_id` of phase `phase`
@@ -193,6 +212,27 @@ impl Cluster {
         let start = Instant::now();
         let costs = &self.costs;
 
+        // telemetry handles are resolved once up front so the parallel
+        // sections below only touch lock-free atomics
+        let tel = self.telemetry.as_ref();
+        let job_span = tel.map(|t| t.span("mr.job"));
+        let job_path = job_span.as_ref().map(|s| s.path().to_string());
+        if let Some(t) = tel {
+            t.counter("mr.jobs").inc();
+        }
+        struct MapCounters {
+            tasks: Counter,
+            in_records: Counter,
+            out_records: Counter,
+            comb_pairs: Counter,
+        }
+        let map_counters = tel.map(|t| MapCounters {
+            tasks: t.counter("mr.map.tasks"),
+            in_records: t.counter("mr.map.input_records"),
+            out_records: t.counter("mr.map.output_records"),
+            comb_pairs: t.counter("mr.combine.output_pairs"),
+        });
+
         // ---- map + combine phase: one task per split -------------------
         struct MapTaskOut<K, C> {
             machine: usize,
@@ -201,8 +241,10 @@ impl Cluster {
             out_records: u64,
             map_us: f64,
             combine_us: f64,
+            combine_wall_us: f64,
         }
 
+        let map_span = tel.map(|t| t.span("map"));
         let tasks: Vec<MapTaskOut<J::Key, J::CombOut>> = splits
             .par_iter()
             .map(|split| {
@@ -267,6 +309,12 @@ impl Cluster {
                     map_us += combine_real_us * costs.cpu_slowdown;
                     0.0
                 };
+                if let Some(c) = &map_counters {
+                    c.tasks.inc();
+                    c.in_records.add(in_records);
+                    c.out_records.add(out_records);
+                    c.comb_pairs.add(combined.len() as u64);
+                }
                 MapTaskOut {
                     machine: split.home_machine,
                     combined,
@@ -274,32 +322,51 @@ impl Cluster {
                     out_records,
                     map_us,
                     combine_us,
+                    combine_wall_us: combine_real_us,
                 }
             })
             .collect();
+        if let Some(s) = map_span {
+            s.close();
+        }
 
         let mut stats = JobStats {
             map_tasks: splits.len() as u64,
             reduce_tasks: self.reduce_tasks as u64,
             ..JobStats::default()
         };
+        let map_retry_counter = tel.map(|t| t.counter("mr.map.task_retries"));
         let mut machine_map_us = vec![0.0f64; self.machines];
+        let mut combine_wall_us = 0.0f64;
         for (task_id, t) in tasks.iter().enumerate() {
             stats.map_input_records += t.in_records;
             stats.map_output_records += t.out_records;
             stats.combine_output_pairs += t.combined.len() as u64;
+            combine_wall_us += t.combine_wall_us;
             // a failed attempt wastes (on average) half the task's work
             // plus a full startup overhead before the retry succeeds
             let retries = self.failed_attempts(seed, 0, task_id) as f64;
             let retry_us = retries * (costs.task_overhead_us + 0.5 * (t.map_us + t.combine_us));
             stats.map_task_retries += retries as u64;
+            if let Some(c) = &map_retry_counter {
+                c.add(retries as u64);
+            }
             stats.sim.map_us += t.map_us + retry_us;
             stats.sim.combine_us += t.combine_us;
             let m = t.machine % self.machines;
             machine_map_us[m] += (t.map_us + t.combine_us + retry_us) * self.speeds[m];
         }
+        // per-task combine work ran inside the map tasks; report its
+        // aggregated wall time as a sibling phase of the driver's map span
+        if let (Some(t), Some(path)) = (tel, &job_path) {
+            if job.has_combiner() {
+                t.observe_span(&format!("{path}/combine"), combine_wall_us * 1e-6);
+            }
+        }
 
         // ---- shuffle: hash-partition combiner outputs ------------------
+        let shuffle_span = tel.map(|t| t.span("shuffle"));
+        let shuffle_bytes_counter = tel.map(|t| t.counter("mr.shuffle.bytes"));
         let mut partitions: Vec<Vec<(J::Key, J::CombOut)>> =
             (0..self.reduce_tasks).map(|_| Vec::new()).collect();
         let mut partition_bytes = vec![0u64; self.reduce_tasks];
@@ -309,8 +376,14 @@ impl Cluster {
                 let b = job.comb_bytes(&k, &c);
                 partition_bytes[p] += b;
                 stats.shuffle_bytes += b;
+                if let Some(c) = &shuffle_bytes_counter {
+                    c.add(b);
+                }
                 partitions[p].push((k, c));
             }
+        }
+        if let Some(s) = shuffle_span {
+            s.close();
         }
         stats.sim.shuffle_us = stats.shuffle_bytes as f64 * costs.network_us_per_byte;
         let shuffle_makespan = partition_bytes
@@ -319,6 +392,17 @@ impl Cluster {
             .fold(0.0f64, f64::max);
 
         // ---- reduce phase: one task per partition ----------------------
+        struct ReduceCounters {
+            tasks: Counter,
+            input_values: Counter,
+            distinct_keys: Counter,
+        }
+        let reduce_counters = tel.map(|t| ReduceCounters {
+            tasks: t.counter("mr.reduce.tasks"),
+            input_values: t.counter("mr.reduce.input_values"),
+            distinct_keys: t.counter("mr.distinct_keys"),
+        });
+        let reduce_span = tel.map(|t| t.span("reduce"));
         // (machine, per-key outputs, values consumed, simulated µs)
         type ReduceTaskOut<K, O> = (usize, Vec<(K, O)>, u64, f64);
         let reduce_outs: Vec<ReduceTaskOut<J::Key, J::ReduceOut>> = partitions
@@ -359,10 +443,19 @@ impl Cluster {
                 let us = costs.task_overhead_us
                     + n_values as f64 * costs.reduce_cpu_us_per_record
                     + reduce_clock.elapsed().as_secs_f64() * 1e6 * costs.cpu_slowdown;
+                if let Some(c) = &reduce_counters {
+                    c.tasks.inc();
+                    c.input_values.add(n_values);
+                    c.distinct_keys.add(results.len() as u64);
+                }
                 (machine, results, n_values, us)
             })
             .collect();
+        if let Some(s) = reduce_span {
+            s.close();
+        }
 
+        let reduce_retry_counter = tel.map(|t| t.counter("mr.reduce.task_retries"));
         let mut machine_reduce_us = vec![0.0f64; self.machines];
         let mut results = Vec::new();
         for (task_id, (machine, outs, n_values, us)) in reduce_outs.into_iter().enumerate() {
@@ -371,6 +464,9 @@ impl Cluster {
             let retries = self.failed_attempts(seed, 1, task_id) as f64;
             let retry_us = retries * (costs.task_overhead_us + 0.5 * us);
             stats.reduce_task_retries += retries as u64;
+            if let Some(c) = &reduce_retry_counter {
+                c.add(retries as u64);
+            }
             stats.sim.reduce_us += us + retry_us;
             machine_reduce_us[machine] += (us + retry_us) * self.speeds[machine];
             results.extend(outs);
@@ -381,6 +477,16 @@ impl Cluster {
             + shuffle_makespan
             + machine_reduce_us.iter().copied().fold(0.0, f64::max);
         stats.wall_secs = start.elapsed().as_secs_f64();
+
+        // per-job simulated-time distributions (integer µs, so the
+        // aggregate is independent of thread interleaving)
+        if let Some(t) = tel {
+            t.record("mr.sim.map_us", stats.sim.map_us.round() as u64);
+            t.record("mr.sim.combine_us", stats.sim.combine_us.round() as u64);
+            t.record("mr.sim.shuffle_us", stats.sim.shuffle_us.round() as u64);
+            t.record("mr.sim.reduce_us", stats.sim.reduce_us.round() as u64);
+            t.record("mr.sim.makespan_us", stats.sim.makespan_us.round() as u64);
+        }
 
         JobOutput { results, stats }
     }
@@ -671,8 +777,10 @@ mod tests {
         let a = flaky.run(&WordCount, &splits, 5);
         let b = flaky.run(&WordCount, &splits, 5);
         assert_eq!(a.stats.map_task_retries, b.stats.map_task_retries);
-        assert_eq!(a.stats.map_task_retries + a.stats.reduce_task_retries,
-                   b.stats.map_task_retries + b.stats.reduce_task_retries);
+        assert_eq!(
+            a.stats.map_task_retries + a.stats.reduce_task_retries,
+            b.stats.map_task_retries + b.stats.reduce_task_retries
+        );
     }
 
     #[test]

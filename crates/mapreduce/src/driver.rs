@@ -128,7 +128,10 @@ mod tests {
         let cluster = Cluster::new(2);
         let splits = make_splits((0..300).collect(), 4, 2);
         let mut log = JobLog::new();
-        for (i, label) in ["first pass", "second pass", "third pass"].iter().enumerate() {
+        for (i, label) in ["first pass", "second pass", "third pass"]
+            .iter()
+            .enumerate()
+        {
             let out = cluster.run(&Count, &splits, i as u64);
             log.record(*label, out.stats);
         }

@@ -95,7 +95,8 @@ pub trait CombineJob: Send + Sync {
     ) -> Self::CombOut;
 
     /// Merge one key's combined values from all map tasks.
-    fn reduce(&self, ctx: &TaskCtx, key: &Self::Key, values: Vec<Self::CombOut>) -> Self::ReduceOut;
+    fn reduce(&self, ctx: &TaskCtx, key: &Self::Key, values: Vec<Self::CombOut>)
+        -> Self::ReduceOut;
 
     /// Simulated record size scanned from the backing store per input
     /// record (drives the cost model's map-phase disk time).
@@ -169,7 +170,12 @@ impl<J: Job> CombineJob for NoCombiner<'_, J> {
         values.collect()
     }
 
-    fn reduce(&self, ctx: &TaskCtx, key: &Self::Key, values: Vec<Self::CombOut>) -> Self::ReduceOut {
+    fn reduce(
+        &self,
+        ctx: &TaskCtx,
+        key: &Self::Key,
+        values: Vec<Self::CombOut>,
+    ) -> Self::ReduceOut {
         let flat: Vec<J::MapOut> = values.into_iter().flatten().collect();
         self.0.reduce(ctx, key, flat)
     }

@@ -46,7 +46,7 @@ pub mod job;
 pub mod split;
 
 pub use cluster::{Cluster, JobOutput, JobStats};
-pub use driver::JobLog;
 pub use cost::{CostConfig, SimTime};
+pub use driver::JobLog;
 pub use job::{CombineJob, Emitter, Job, TaskCtx};
 pub use split::{make_splits, InputSplit};

@@ -6,9 +6,8 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use stratmr_mapreduce::{
-    make_splits, Cluster, CombineJob, CostConfig, Emitter, Job, TaskCtx,
-};
+use stratmr_mapreduce::{make_splits, Cluster, CombineJob, CostConfig, Emitter, Job, TaskCtx};
+use stratmr_telemetry::{Registry, Snapshot};
 
 struct SumJob;
 
@@ -48,6 +47,33 @@ impl CombineJob for SumJobCombined {
     fn comb_bytes(&self, _k: &u8, _v: &i64) -> u64 {
         9
     }
+}
+
+/// Run one plain + one combined job on a telemetry-instrumented cluster
+/// and return the host-independent snapshot.
+fn instrumented_snapshot(
+    records: &[(u8, i64)],
+    machines: usize,
+    failure_prob: f64,
+    seed: u64,
+) -> Snapshot {
+    let registry = Registry::new();
+    let splits = make_splits(records.to_vec(), 4, machines);
+    // zero out the measured-CPU component so simulated times (and the
+    // `mr.sim.*` histograms derived from them) are exactly reproducible
+    let costs = CostConfig {
+        cpu_slowdown: 0.0,
+        ..CostConfig::default()
+    };
+    let mut cluster = Cluster::new(machines)
+        .with_costs(costs)
+        .with_telemetry(registry.clone());
+    if failure_prob > 0.0 {
+        cluster = cluster.with_failures(failure_prob);
+    }
+    cluster.run(&SumJob, &splits, seed);
+    cluster.run_with_combiner(&SumJobCombined, &splits, seed ^ 0x5A5A);
+    registry.snapshot().without_host()
 }
 
 fn reference(records: &[(u8, i64)]) -> HashMap<u8, i64> {
@@ -106,6 +132,67 @@ proptest! {
         let b: HashMap<u8, i64> = flaky.results.into_iter().collect();
         prop_assert_eq!(a, b);
         prop_assert!(flaky.stats.sim.makespan_us >= clean.stats.sim.makespan_us - 1e-6);
+    }
+
+    #[test]
+    fn telemetry_is_invariant_across_thread_counts(
+        records in prop::collection::vec((0u8..10, -50i64..50), 1..150),
+        machines in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // The engine's dataflow (and its simulated cost model) is defined
+        // to be independent of host parallelism, so *every* deterministic
+        // telemetry field — counters, sim-time histograms, span call
+        // counts — must be identical whether rayon runs on 1 or 4
+        // threads. The vendored rayon re-reads RAYON_NUM_THREADS on each
+        // call; no other test in this binary sets it.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let single = instrumented_snapshot(&records, machines, 0.0, seed);
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let multi = instrumented_snapshot(&records, machines, 0.0, seed);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        prop_assert!(
+            single.deterministic_eq(&multi),
+            "telemetry differs across thread counts:\n--- 1 thread ---\n{}\n--- 4 threads ---\n{}",
+            single.render_text(),
+            multi.render_text()
+        );
+    }
+
+    #[test]
+    fn failure_injection_only_moves_retry_counters_and_sim_time(
+        records in prop::collection::vec((0u8..8, 0i64..40), 1..120),
+        seed in any::<u64>(),
+    ) {
+        // Extends `failures_never_change_results` to the telemetry layer:
+        // retries are accounting-only, so a flaky cluster must emit the
+        // exact same counters as a clean one except the two retry
+        // counters (and the simulated-time histograms, which legitimately
+        // stretch under re-execution).
+        let clean = instrumented_snapshot(&records, 2, 0.0, seed);
+        let flaky = instrumented_snapshot(&records, 2, 0.3, seed);
+        let names_a: Vec<&str> = clean.counter_names().collect();
+        let names_b: Vec<&str> = flaky.counter_names().collect();
+        prop_assert_eq!(&names_a, &names_b);
+        for name in names_a {
+            if name.ends_with(".task_retries") {
+                continue;
+            }
+            prop_assert_eq!(
+                clean.counter(name),
+                flaky.counter(name),
+                "non-retry counter `{}` changed under failure injection",
+                name
+            );
+        }
+        for span in ["mr.job", "mr.job/map", "mr.job/combine", "mr.job/shuffle", "mr.job/reduce"] {
+            prop_assert_eq!(
+                clean.span_calls(span),
+                flaky.span_calls(span),
+                "span `{}` call count changed under failure injection",
+                span
+            );
+        }
     }
 
     #[test]

@@ -25,12 +25,7 @@ impl CombineJob for &CombinerContract {
         out.emit(r.0, r.1);
     }
 
-    fn combine(
-        &self,
-        _c: &TaskCtx,
-        _k: &u8,
-        values: &mut dyn Iterator<Item = u64>,
-    ) -> (u64, u64) {
+    fn combine(&self, _c: &TaskCtx, _k: &u8, values: &mut dyn Iterator<Item = u64>) -> (u64, u64) {
         self.combine_calls.fetch_add(1, Ordering::Relaxed);
         let mut sum = 0;
         let mut count = 0;
@@ -78,7 +73,9 @@ fn more_reduce_tasks_than_machines_is_fine() {
         .run_with_combiner(&&job, &splits, 1);
     let results: HashMap<u8, (u64, u64)> = out.results.into_iter().collect();
     assert_eq!(results.len(), 10);
-    assert!(results.values().all(|&(sum, count)| sum == 10 && count == 10));
+    assert!(results
+        .values()
+        .all(|&(sum, count)| sum == 10 && count == 10));
 }
 
 #[test]

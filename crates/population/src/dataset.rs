@@ -63,7 +63,12 @@ impl Dataset {
     ///
     /// # Panics
     /// Panics if `machines == 0` or `splits == 0`.
-    pub fn distribute(&self, machines: usize, splits: usize, placement: Placement) -> DistributedDataset {
+    pub fn distribute(
+        &self,
+        machines: usize,
+        splits: usize,
+        placement: Placement,
+    ) -> DistributedDataset {
         DistributedDataset::from_dataset(self, machines, splits, placement)
     }
 }

@@ -207,7 +207,10 @@ mod tests {
         for t in d.tuples() {
             assert!(t.get(ly) >= t.get(fy), "career must not end before start");
             assert!(t.get(myp) <= t.get(nop), "max/year cannot exceed total");
-            assert!(t.get(cc) <= t.get(ndcc), "distinct ≤ non-distinct coauthors");
+            assert!(
+                t.get(cc) <= t.get(ndcc),
+                "distinct ≤ non-distinct coauthors"
+            );
             // peak year is consistent with the career length (up to the
             // domain cap of 140)
             let years = t.get(ly) - t.get(fy) + 1;

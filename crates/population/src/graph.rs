@@ -188,10 +188,7 @@ mod tests {
         let median = degrees[degrees.len() / 2];
         let max = *degrees.last().unwrap();
         // preferential attachment: hubs dwarf the median node
-        assert!(
-            max > 10 * median,
-            "no hubs: max {max} vs median {median}"
-        );
+        assert!(max > 10 * median, "no hubs: max {max} vs median {median}");
         // most nodes stay near the attachment count
         assert!(median <= 5, "median {median}");
     }

@@ -55,7 +55,12 @@ impl CostModel {
     /// The §6.1.2 experimental model: every interview costs `interview`
     /// dollars ($4 in the paper), sharing a set of surveys costs one
     /// interview, and each listed pair carries a `penalty` ($10).
-    pub fn paper_style(n_surveys: usize, interview: f64, penalized_pairs: &[(usize, usize)], penalty: f64) -> Self {
+    pub fn paper_style(
+        n_surveys: usize,
+        interview: f64,
+        penalized_pairs: &[(usize, usize)],
+        penalty: f64,
+    ) -> Self {
         Self {
             interview: vec![interview; n_surveys],
             base: SharingBase::Max,

@@ -193,7 +193,9 @@ impl Formula {
 
     /// Conjunction of many formulas.
     pub fn all(formulas: impl IntoIterator<Item = Formula>) -> Self {
-        formulas.into_iter().fold(Formula::tautology(), Formula::and)
+        formulas
+            .into_iter()
+            .fold(Formula::tautology(), Formula::and)
     }
 
     /// Structurally simplify: fold constants, flatten nested ∧/∨, drop
@@ -323,12 +325,7 @@ fn fmt_formula(formula: &Formula, schema: &Schema, f: &mut fmt::Formatter<'_>) -
     }
 }
 
-fn fmt_nary(
-    fs: &[Formula],
-    sep: &str,
-    schema: &Schema,
-    f: &mut fmt::Formatter<'_>,
-) -> fmt::Result {
+fn fmt_nary(fs: &[Formula], sep: &str, schema: &Schema, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     write!(f, "(")?;
     for (i, sub) in fs.iter().enumerate() {
         if i > 0 {
@@ -414,7 +411,10 @@ mod tests {
         let g = a.clone().or(b.clone()).or(c.clone());
         assert_eq!(g, Formula::Or(vec![a.clone(), b.clone(), c]));
         assert_eq!(a.clone().and(Formula::tautology()), a);
-        assert_eq!(a.clone().and(Formula::contradiction()), Formula::contradiction());
+        assert_eq!(
+            a.clone().and(Formula::contradiction()),
+            Formula::contradiction()
+        );
         assert_eq!(b.clone().or(Formula::contradiction()), b);
         assert_eq!(b.or(Formula::tautology()), Formula::tautology());
         assert_eq!(Formula::any([]), Formula::contradiction());
@@ -440,7 +440,10 @@ mod tests {
         assert_eq!(alive.simplify(), Formula::tautology());
         let short_circuit = Formula::And(vec![a.clone(), Formula::Const(false)]);
         assert_eq!(short_circuit.simplify(), Formula::contradiction());
-        assert_eq!(Formula::between(inc, 10, 5).simplify(), Formula::contradiction());
+        assert_eq!(
+            Formula::between(inc, 10, 5).simplify(),
+            Formula::contradiction()
+        );
         // leaves pass through untouched
         assert_eq!(a.clone().simplify(), a);
     }

@@ -35,11 +35,11 @@ pub mod validity;
 
 pub use allocation::{allocate, design_ssd, srs_sample_size, Allocation};
 pub use costs::{CostModel, SharingBase};
-pub use index::StratumIndex;
-pub use parser::{parse_formula, ParseError};
 pub use formula::{CmpOp, Formula};
 pub use generator::{GroupSpec, QueryGenerator};
+pub use index::StratumIndex;
 pub use mssd::{MssdAnswer, MssdQuery};
+pub use parser::{parse_formula, ParseError};
 pub use ssd::{SsdAnswer, SsdError, SsdQuery, StratumConstraint, StratumId};
 pub use survey_set::{SurveySet, MAX_SURVEYS};
 pub use validity::{check_disjoint_static, mentioned_attributes, StaticCheck};

@@ -85,28 +85,46 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 i += 1;
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, offset: start });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, offset: start });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { tok: Tok::LBracket, offset: start });
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { tok: Tok::RBracket, offset: start });
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, offset: start });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    out.push(Token { tok: Tok::And, offset: start });
+                    out.push(Token {
+                        tok: Tok::And,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError {
@@ -117,7 +135,10 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    out.push(Token { tok: Tok::Or, offset: start });
+                    out.push(Token {
+                        tok: Tok::Or,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError {
@@ -128,33 +149,58 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Op(CmpOp::Ne), offset: start });
+                    out.push(Token {
+                        tok: Tok::Op(CmpOp::Ne),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Not, offset: start });
+                    out.push(Token {
+                        tok: Tok::Not,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 // accept both '=' and '=='
-                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
-                out.push(Token { tok: Tok::Op(CmpOp::Eq), offset: start });
+                i += if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
+                out.push(Token {
+                    tok: Tok::Op(CmpOp::Eq),
+                    offset: start,
+                });
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Op(CmpOp::Le), offset: start });
+                    out.push(Token {
+                        tok: Tok::Op(CmpOp::Le),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Op(CmpOp::Lt), offset: start });
+                    out.push(Token {
+                        tok: Tok::Op(CmpOp::Lt),
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Op(CmpOp::Ge), offset: start });
+                    out.push(Token {
+                        tok: Tok::Op(CmpOp::Ge),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Op(CmpOp::Gt), offset: start });
+                    out.push(Token {
+                        tok: Tok::Op(CmpOp::Gt),
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -168,7 +214,10 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                     message: format!("bad number {text:?}"),
                     offset: start,
                 })?;
-                out.push(Token { tok: Tok::Number(n), offset: start });
+                out.push(Token {
+                    tok: Tok::Number(n),
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -411,7 +460,10 @@ mod tests {
     fn constants_and_negative_numbers() {
         let s = schema();
         assert_eq!(parse_formula("true", &s).unwrap(), Formula::tautology());
-        assert_eq!(parse_formula("false", &s).unwrap(), Formula::contradiction());
+        assert_eq!(
+            parse_formula("false", &s).unwrap(),
+            Formula::contradiction()
+        );
         let f = parse_formula("age > -5", &s).unwrap();
         assert!(f.eval(&person(0, 0, 0)));
     }

@@ -340,13 +340,15 @@ mod tests {
             StratumConstraint::new(Formula::lt(x(), 50), 2),
             StratumConstraint::new(Formula::ge(x(), 50), 1),
         ]);
-        let good = SsdAnswer::from_strata(vec![pop(&[1, 2]), vec![Individual::new(9, vec![99], 0)]]);
+        let good =
+            SsdAnswer::from_strata(vec![pop(&[1, 2]), vec![Individual::new(9, vec![99], 0)]]);
         assert!(good.satisfies(&q));
         // wrong count
         let short = SsdAnswer::from_strata(vec![pop(&[1]), vec![Individual::new(9, vec![99], 0)]]);
         assert!(!short.satisfies(&q));
         // tuple in wrong stratum
-        let wrong = SsdAnswer::from_strata(vec![pop(&[1, 99]), vec![Individual::new(9, vec![99], 0)]]);
+        let wrong =
+            SsdAnswer::from_strata(vec![pop(&[1, 99]), vec![Individual::new(9, vec![99], 0)]]);
         assert!(!wrong.satisfies(&q));
         // mismatched arity
         let arity = SsdAnswer::from_strata(vec![pop(&[1, 2])]);

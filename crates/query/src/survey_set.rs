@@ -11,7 +11,9 @@ use std::fmt;
 pub const MAX_SURVEYS: usize = 32;
 
 /// A set of survey (SSD query) indexes, encoded as a bitmask.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct SurveySet(u32);
 
 impl SurveySet {

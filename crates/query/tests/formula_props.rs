@@ -17,7 +17,14 @@ fn schema() -> Schema {
 /// Strategy for arbitrary formulas over 3 numeric attributes.
 fn formula_strategy() -> impl Strategy<Value = Formula> {
     let atom = (0u16..3, 0usize..6, -100i64..=100).prop_map(|(attr, op, v)| {
-        let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][op];
+        let op = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ][op];
         Formula::Atom(AttrId(attr), op, v)
     });
     let range = (0u16..3, -100i64..=100, -100i64..=100)

@@ -4,8 +4,8 @@
 
 use stratmr_population::{AttrDef, Individual, Schema};
 use stratmr_query::{
-    CostModel, Formula, MssdAnswer, MssdQuery, SharingBase, SsdAnswer, SsdQuery,
-    StratumConstraint, SurveySet,
+    CostModel, Formula, MssdAnswer, MssdQuery, SharingBase, SsdAnswer, SsdQuery, StratumConstraint,
+    SurveySet,
 };
 
 fn schema() -> Schema {
@@ -20,10 +20,7 @@ fn demo_query() -> SsdQuery {
     let income = s.attr_id("income").unwrap();
     let gender = s.attr_id("gender").unwrap();
     SsdQuery::new(vec![
-        StratumConstraint::new(
-            Formula::eq(gender, 0).and(Formula::lt(income, 50_000)),
-            50,
-        ),
+        StratumConstraint::new(Formula::eq(gender, 0).and(Formula::lt(income, 50_000)), 50),
         StratumConstraint::new(
             Formula::eq(gender, 1)
                 .and(Formula::gt(income, 100_000))

@@ -23,6 +23,7 @@
 
 use crate::limits::stratum_selection_limits;
 use crate::mqe::mr_mqe_on_splits;
+use crate::obs::StratumCounters;
 use crate::reservoir::Reservoir;
 use crate::sst::{Sst, StratumSelection};
 use crate::unified::{unified_sampler, IntermediateSample};
@@ -30,10 +31,13 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
-use stratmr_lp::{solve_ip, solve_lp, LpError, Problem, Relation};
+use stratmr_lp::{
+    solve_ip, solve_ip_traced, solve_lp, solve_lp_traced, LpError, Problem, Relation,
+};
 use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobStats, TaskCtx};
 use stratmr_population::{DistributedDataset, Individual};
 use stratmr_query::{MssdAnswer, MssdQuery, SsdAnswer, SsdQuery, SurveySet};
+use stratmr_telemetry::Registry;
 
 /// Which solver backs step 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,9 +161,17 @@ pub fn mr_cps_on_splits(
     let queries = mssd.queries();
     let n = queries.len();
     let mut phase_stats = Vec::new();
+    let tel = cluster.telemetry();
+    let _run_span = tel.map(|t| t.span("cps.run"));
+    if let Some(t) = tel {
+        t.counter("cps.runs").inc();
+    }
 
     // ---- step 1: representative first-phase answer (Line 1) ------------
-    let initial = mr_mqe_on_splits(cluster, splits, queries, None, seed.wrapping_add(1));
+    let initial = {
+        let _s = tel.map(|t| t.span("initial_mqe"));
+        mr_mqe_on_splits(cluster, splits, queries, None, seed.wrapping_add(1))
+    };
     phase_stats.push(("initial MR-MQE".to_string(), initial.stats.clone()));
 
     // F(A_i, σ) via one SST per answer (§5.2.5.1)
@@ -182,13 +194,16 @@ pub fn mr_cps_on_splits(
 
     // ---- step 2: limits L(σ) (Figure 4) --------------------------------
     let relevant_set: HashSet<StratumSelection> = relevant.iter().cloned().collect();
-    let (limits, limit_stats) = stratum_selection_limits(
-        cluster,
-        splits,
-        queries,
-        Some(&relevant_set),
-        seed.wrapping_add(2),
-    );
+    let (limits, limit_stats) = {
+        let _s = tel.map(|t| t.span("limits"));
+        stratum_selection_limits(
+            cluster,
+            splits,
+            queries,
+            Some(&relevant_set),
+            seed.wrapping_add(2),
+        )
+    };
     phase_stats.push(("selection limits".to_string(), limit_stats));
 
     // ---- step 3: formulate & solve the Figure 3 program ----------------
@@ -196,31 +211,42 @@ pub fn mr_cps_on_splits(
     let mut variables = 0usize;
     let mut constraints = 0usize;
     let mut solver_objective = 0.0f64;
-    let plans: Vec<SigmaPlan> = if config.joint_formulation {
-        solve_joint(
-            &relevant,
-            &freq,
-            &limits,
-            mssd,
-            config,
-            &mut timings,
-            &mut variables,
-            &mut constraints,
-            &mut solver_objective,
-        )?
-    } else {
-        solve_blockwise(
-            &relevant,
-            &freq,
-            &limits,
-            mssd,
-            config,
-            &mut timings,
-            &mut variables,
-            &mut constraints,
-            &mut solver_objective,
-        )?
+    let plans: Vec<SigmaPlan> = {
+        let _s = tel.map(|t| t.span("solve"));
+        if config.joint_formulation {
+            solve_joint(
+                &relevant,
+                &freq,
+                &limits,
+                mssd,
+                config,
+                tel,
+                &mut timings,
+                &mut variables,
+                &mut constraints,
+                &mut solver_objective,
+            )?
+        } else {
+            solve_blockwise(
+                &relevant,
+                &freq,
+                &limits,
+                mssd,
+                config,
+                tel,
+                &mut timings,
+                &mut variables,
+                &mut constraints,
+                &mut solver_objective,
+            )?
+        }
     };
+    if let Some(t) = tel {
+        t.counter("cps.relevant_selections")
+            .add(relevant.len() as u64);
+        t.counter("cps.program.variables").add(variables as u64);
+        t.counter("cps.program.constraints").add(constraints as u64);
+    }
 
     // ---- step 4: combined query Q′ + distribution (Lines 4-15) ---------
     // Q′ has one stratum per relevant σ with a positive allocation; its
@@ -239,8 +265,12 @@ pub fn mr_cps_on_splits(
         queries,
         index: &sigma_index,
         freqs: &combined_freqs,
+        counters: tel.map(|t| StratumCounters::per_stratum(t, "cps.combined", active.len())),
     };
-    let combined = cluster.run_with_combiner(&combined_job, splits, seed.wrapping_add(3));
+    let combined = {
+        let _s = tel.map(|t| t.span("combined_sqe"));
+        cluster.run_with_combiner(&combined_job, splits, seed.wrapping_add(3))
+    };
     phase_stats.push(("combined MR-SQE".to_string(), combined.stats.clone()));
     let mut pools: Vec<Vec<Individual>> = vec![Vec::new(); active.len()];
     for (k, sample) in combined.results {
@@ -293,9 +323,15 @@ pub fn mr_cps_on_splits(
             queries,
             needed: &needed,
             exclusions: &exclusions,
+            counters: tel.map(|t| StratumCounters::aggregate(t, "cps.residual")),
         };
-        let residual =
-            cluster.run_with_combiner(&residual_job, splits, seed.wrapping_add(4 + round as u64));
+        let residual = {
+            let _s = tel.map(|t| t.span("residual"));
+            cluster.run_with_combiner(&residual_job, splits, seed.wrapping_add(4 + round as u64))
+        };
+        if let Some(t) = tel {
+            t.counter("cps.residual.rounds").inc();
+        }
         phase_stats.push((format!("residual MR-MQE #{round}"), residual.stats.clone()));
         let mut added_this_round = 0usize;
         for ((i, sel), tuples) in residual.results {
@@ -314,6 +350,10 @@ pub fn mr_cps_on_splits(
         }
     }
 
+    if let Some(t) = tel {
+        t.counter("cps.residual.selections")
+            .add(residual_selections as u64);
+    }
     let answer = MssdAnswer::new(star);
     let cost = answer.cost(mssd.costs());
     Ok(CpsRun {
@@ -336,6 +376,7 @@ struct CombinedSqeJob<'a> {
     queries: &'a [SsdQuery],
     index: &'a HashMap<StratumSelection, usize>,
     freqs: &'a [usize],
+    counters: Option<StratumCounters>,
 }
 
 impl CombineJob for CombinedSqeJob<'_> {
@@ -348,6 +389,9 @@ impl CombineJob for CombinedSqeJob<'_> {
     fn map(&self, _ctx: &TaskCtx, t: &Individual, out: &mut Emitter<usize, Individual>) {
         let sel = StratumSelection::of(t, self.queries);
         if let Some(&k) = self.index.get(&sel) {
+            if let Some(c) = &self.counters {
+                c.candidate(k);
+            }
             out.emit(k, t.clone());
         }
     }
@@ -374,7 +418,12 @@ impl CombineJob for CombinedSqeJob<'_> {
         values: Vec<IntermediateSample<Individual>>,
     ) -> Vec<Individual> {
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
-        unified_sampler(values, self.freqs[*key], &mut rng)
+        let seen: u64 = values.iter().map(|s| s.drawn_from as u64).sum();
+        let sample = unified_sampler(values, self.freqs[*key], &mut rng);
+        if let Some(c) = &self.counters {
+            c.reduced(*key, sample.len() as u64, seen);
+        }
+        sample
     }
 
     fn input_bytes(&self, t: &Individual) -> u64 {
@@ -382,11 +431,7 @@ impl CombineJob for CombinedSqeJob<'_> {
     }
 
     fn comb_bytes(&self, _key: &usize, s: &IntermediateSample<Individual>) -> u64 {
-        s.sample
-            .iter()
-            .map(crate::input::wire_bytes)
-            .sum::<u64>()
-            + 16
+        s.sample.iter().map(crate::input::wire_bytes).sum::<u64>() + 16
     }
 }
 
@@ -396,6 +441,9 @@ struct ResidualMqeJob<'a> {
     queries: &'a [SsdQuery],
     needed: &'a HashMap<(usize, StratumSelection), usize>,
     exclusions: &'a [HashSet<u64>],
+    /// Aggregate `cps.residual.*` counters — the key space is the
+    /// dynamic `(query, σ)` deficits, so no per-stratum breakdown.
+    counters: Option<StratumCounters>,
 }
 
 impl CombineJob for ResidualMqeJob<'_> {
@@ -418,6 +466,9 @@ impl CombineJob for ResidualMqeJob<'_> {
             }
             let key = (i, sel.clone());
             if self.needed.contains_key(&key) {
+                if let Some(c) = &self.counters {
+                    c.candidate(0);
+                }
                 out.emit(key, t.clone());
             }
         }
@@ -445,19 +496,24 @@ impl CombineJob for ResidualMqeJob<'_> {
         values: Vec<IntermediateSample<Individual>>,
     ) -> Vec<Individual> {
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
-        unified_sampler(values, self.needed[key], &mut rng)
+        let seen: u64 = values.iter().map(|s| s.drawn_from as u64).sum();
+        let sample = unified_sampler(values, self.needed[key], &mut rng);
+        if let Some(c) = &self.counters {
+            c.reduced(0, sample.len() as u64, seen);
+        }
+        sample
     }
 
     fn input_bytes(&self, t: &Individual) -> u64 {
         t.payload_bytes as u64
     }
 
-    fn comb_bytes(&self, _key: &(usize, StratumSelection), s: &IntermediateSample<Individual>) -> u64 {
-        s.sample
-            .iter()
-            .map(crate::input::wire_bytes)
-            .sum::<u64>()
-            + 16
+    fn comb_bytes(
+        &self,
+        _key: &(usize, StratumSelection),
+        s: &IntermediateSample<Individual>,
+    ) -> u64 {
+        s.sample.iter().map(crate::input::wire_bytes).sum::<u64>() + 16
     }
 }
 
@@ -488,6 +544,22 @@ fn floor_eps(x: f64, eps: f64) -> u64 {
     (x + eps).floor().max(0.0) as u64
 }
 
+/// One Figure 3 (sub)program solve, routed through the traced solver
+/// variants when the cluster carries a telemetry registry (pivot, node
+/// and relaxation counters land under `lp.*` / `ip.*`).
+fn solve_dispatch(
+    problem: &Problem,
+    solver: SolverKind,
+    telemetry: Option<&Registry>,
+) -> Result<stratmr_lp::Solution, LpError> {
+    match (solver, telemetry) {
+        (SolverKind::Lp, Some(reg)) => solve_lp_traced(problem, reg),
+        (SolverKind::Lp, None) => solve_lp(problem),
+        (SolverKind::Ip, Some(reg)) => solve_ip_traced(problem, reg),
+        (SolverKind::Ip, None) => solve_ip(problem),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn solve_blockwise(
     relevant: &[StratumSelection],
@@ -495,6 +567,7 @@ fn solve_blockwise(
     limits: &HashMap<StratumSelection, u64>,
     mssd: &MssdQuery,
     config: CpsConfig,
+    telemetry: Option<&Registry>,
     timings: &mut CpsTimings,
     variables: &mut usize,
     constraints: &mut usize,
@@ -532,10 +605,7 @@ fn solve_blockwise(
         timings.formulate_secs += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let solution = match config.solver {
-            SolverKind::Lp => solve_lp(&problem)?,
-            SolverKind::Ip => solve_ip(&problem)?,
-        };
+        let solution = solve_dispatch(&problem, config.solver, telemetry)?;
         timings.solve_secs += t1.elapsed().as_secs_f64();
         *objective += solution.objective;
 
@@ -569,6 +639,7 @@ fn solve_joint(
     limits: &HashMap<StratumSelection, u64>,
     mssd: &MssdQuery,
     config: CpsConfig,
+    telemetry: Option<&Registry>,
     timings: &mut CpsTimings,
     variables: &mut usize,
     constraints: &mut usize,
@@ -607,10 +678,7 @@ fn solve_joint(
     timings.formulate_secs += t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let solution = match config.solver {
-        SolverKind::Lp => solve_lp(&problem)?,
-        SolverKind::Ip => solve_ip(&problem)?,
-    };
+    let solution = solve_dispatch(&problem, config.solver, telemetry)?;
     timings.solve_secs += t1.elapsed().as_secs_f64();
     *objective = solution.objective;
 
@@ -793,7 +861,11 @@ mod tests {
         let run = mr_cps(&cluster, &data, &free, CpsConfig::mr_cps(), 3).unwrap();
         let hist = run.answer.sharing_histogram(2);
         assert_eq!(hist[1], 20, "all individuals should serve both surveys");
-        assert!((run.cost - 80.0).abs() < 1e-9, "20 shared × $4 = $80, got {}", run.cost);
+        assert!(
+            (run.cost - 80.0).abs() < 1e-9,
+            "20 shared × $4 = $80, got {}",
+            run.cost
+        );
 
         // heavy penalty → sharing never pays off
         let penalized = MssdQuery::new(
@@ -825,10 +897,7 @@ mod tests {
         let cluster = Cluster::new(2);
         let men = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(g, 0), 6)]);
         let singles = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(st, 0), 12)]);
-        let mssd = MssdQuery::new(
-            vec![men, singles],
-            CostModel::paper_style(2, 1.0, &[], 0.0),
-        );
+        let mssd = MssdQuery::new(vec![men, singles], CostModel::paper_style(2, 1.0, &[], 0.0));
         // across runs, the fraction of single men in survey A must hover
         // around the population rate (1/2), not 100%
         let runs = 40;
@@ -881,9 +950,82 @@ mod tests {
             run.residual_selections, 3,
             "flooring a fully fractional plan leaves everything to residuals"
         );
-        assert!(run.answer.satisfies(&mssd), "residual phase must complete the answer");
+        assert!(
+            run.answer.satisfies(&mssd),
+            "residual phase must complete the answer"
+        );
         // realized integral cost can't beat the IP optimum (10)
         assert!(run.cost >= 10.0 - 1e-9, "realized {}", run.cost);
+    }
+
+    /// MR-CPS telemetry: per-round spans cover every phase, the LP is
+    /// solved once per relevant selection (blockwise), and the residual
+    /// counters agree with the run's own accounting.
+    #[test]
+    fn telemetry_covers_all_phases() {
+        let registry = Registry::new();
+        let data = dataset(1500).distribute(3, 6, Placement::RoundRobin);
+        let cluster = Cluster::new(3).with_telemetry(registry.clone());
+        let mssd = overlapping_mssd();
+        let run = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 17).unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cps.runs"), 1);
+        for phase in ["initial_mqe", "limits", "solve", "combined_sqe"] {
+            assert_eq!(snap.span_calls(&format!("cps.run/{phase}")), 1, "{phase}");
+        }
+        // blockwise: one LP solve per relevant selection, nested under
+        // the solve span
+        assert_eq!(snap.counter("lp.solves"), run.relevant_selections as u64);
+        assert_eq!(
+            snap.span_calls("cps.run/solve/lp.solve"),
+            run.relevant_selections as u64
+        );
+        assert!(snap.counter("lp.pivots") > 0);
+        assert_eq!(snap.counter("cps.program.variables"), run.variables as u64);
+        assert_eq!(
+            snap.counter("cps.program.constraints"),
+            run.constraints as u64
+        );
+        // residual accounting matches the run's own
+        let rounds = run
+            .phase_stats
+            .iter()
+            .filter(|(l, _)| l.starts_with("residual"))
+            .count() as u64;
+        assert_eq!(snap.counter("cps.residual.rounds"), rounds);
+        assert_eq!(
+            snap.counter("cps.residual.selections"),
+            run.residual_selections as u64
+        );
+        // every combined-query stratum keeps candidates = sampled + rejected
+        let strata: Vec<String> = snap
+            .counter_names()
+            .filter(|n| n.starts_with("cps.combined.") && n.ends_with(".candidates"))
+            .map(|n| n.trim_end_matches(".candidates").to_string())
+            .collect();
+        assert!(!strata.is_empty(), "combined job must emit counters");
+        for s in strata {
+            assert_eq!(
+                snap.counter(&format!("{s}.candidates")),
+                snap.counter(&format!("{s}.sampled")) + snap.counter(&format!("{s}.rejected")),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_solver_emits_ip_counters() {
+        let registry = Registry::new();
+        let data = dataset(1000).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2).with_telemetry(registry.clone());
+        let mssd = overlapping_mssd();
+        let run = mr_cps(&cluster, &data, &mssd, CpsConfig::exact(), 19).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ip.solves"), run.relevant_selections as u64);
+        assert!(snap.counter("ip.nodes") >= snap.counter("ip.solves"));
+        assert!(snap.counter("ip.lp_relaxations") >= snap.counter("ip.solves"));
+        assert_eq!(snap.counter("lp.solves"), 0, "LP path must stay untouched");
     }
 
     #[test]

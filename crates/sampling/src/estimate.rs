@@ -28,7 +28,10 @@ pub struct Estimate {
 impl Estimate {
     /// A two-sided confidence interval at the given z-score (1.96 ≈ 95%).
     pub fn interval(&self, z: f64) -> (f64, f64) {
-        (self.value - z * self.std_error, self.value + z * self.std_error)
+        (
+            self.value - z * self.std_error,
+            self.value + z * self.std_error,
+        )
     }
 }
 
@@ -219,7 +222,11 @@ mod tests {
             "truth {truth} outside [{lo}, {hi}]"
         );
         // small per-stratum spread → tight interval
-        assert!(est.std_error < 2.0, "std error too large: {}", est.std_error);
+        assert!(
+            est.std_error < 2.0,
+            "std error too large: {}",
+            est.std_error
+        );
     }
 
     #[test]
@@ -233,11 +240,7 @@ mod tests {
         // stratified: proportional-ish 36 / 4
         let s1 = reservoir_sample(common.iter().cloned(), 36, &mut rng).0;
         let s2 = reservoir_sample(rare.iter().cloned(), 4, &mut rng).0;
-        let strat = stratified_mean(
-            &SsdAnswer::from_strata(vec![s1, s2]),
-            &[900, 100],
-            attr(),
-        );
+        let strat = stratified_mean(&SsdAnswer::from_strata(vec![s1, s2]), &[900, 100], attr());
         let srs = srs_mean(
             &reservoir_sample(all.iter().cloned(), n, &mut rng).0,
             1000,

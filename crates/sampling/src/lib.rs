@@ -44,6 +44,7 @@ pub mod input;
 pub mod limits;
 pub mod mqe;
 pub mod naive;
+mod obs;
 pub mod percent;
 pub mod predicate;
 pub mod reservoir;
@@ -61,7 +62,9 @@ pub use input::{to_input_splits, wire_bytes};
 pub use limits::stratum_selection_limits;
 pub use mqe::{mr_mqe, mr_mqe_on_splits, MqeJob, MqeRun};
 pub use naive::{naive_sqe, naive_sqe_on_splits, NaiveSqeJob, SqeRun};
-pub use percent::{mr_sqe_percent, resolve_percentages, PercentRun, PercentSsdQuery, PercentStratum};
+pub use percent::{
+    mr_sqe_percent, resolve_percentages, PercentRun, PercentSsdQuery, PercentStratum,
+};
 pub use predicate::{predicate_sample, PredicateSample};
 pub use reservoir::{reservoir_sample, Reservoir, SkipReservoir, ZReservoir};
 pub use sequential::sequential_ssd;

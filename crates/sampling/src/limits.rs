@@ -139,10 +139,12 @@ mod tests {
         let cluster = Cluster::new(3);
         let want: HashSet<StratumSelection> =
             [StratumSelection::from_choices(&[Some(1), None])].into();
-        let (limits, stats) =
-            stratum_selection_limits(&cluster, &splits, &queries, Some(&want), 1);
+        let (limits, stats) = stratum_selection_limits(&cluster, &splits, &queries, Some(&want), 1);
         assert_eq!(limits.len(), 1);
-        assert_eq!(limits[&StratumSelection::from_choices(&[Some(1), None])], 50);
+        assert_eq!(
+            limits[&StratumSelection::from_choices(&[Some(1), None])],
+            50
+        );
         // filtering happens map-side: fewer intermediate pairs
         assert_eq!(stats.map_output_records, 50);
     }

@@ -9,6 +9,7 @@
 //! optimization); the paper uses it as the cost benchmark for MR-CPS and
 //! as CPS's representative first phase.
 
+use crate::obs::StratumCounters;
 use crate::reservoir::Reservoir;
 use crate::unified::{unified_sampler, IntermediateSample};
 use rand::SeedableRng;
@@ -17,6 +18,7 @@ use std::collections::HashSet;
 use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobStats, TaskCtx};
 use stratmr_population::{DistributedDataset, Individual};
 use stratmr_query::{MssdAnswer, SsdAnswer, SsdQuery, StratumId};
+use stratmr_telemetry::Registry;
 
 /// Intermediate key: `(query index, stratum index)`.
 pub type QueryStratum = (usize, StratumId);
@@ -29,6 +31,7 @@ pub type QueryStratum = (usize, StratumId);
 pub struct MqeJob<'a> {
     queries: &'a [SsdQuery],
     exclusions: Option<&'a [HashSet<u64>]>,
+    counters: Option<Vec<StratumCounters>>,
 }
 
 impl<'a> MqeJob<'a> {
@@ -37,6 +40,7 @@ impl<'a> MqeJob<'a> {
         Self {
             queries,
             exclusions: None,
+            counters: None,
         }
     }
 
@@ -47,6 +51,19 @@ impl<'a> MqeJob<'a> {
     pub fn with_exclusions(mut self, exclusions: &'a [HashSet<u64>]) -> Self {
         assert_eq!(exclusions.len(), self.queries.len());
         self.exclusions = Some(exclusions);
+        self
+    }
+
+    /// Emit `mqe.q<i>.s<k>.{candidates,sampled,rejected}` counters into
+    /// `registry`, one trio per `(query, stratum)` pair.
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.counters = Some(
+            self.queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| StratumCounters::per_stratum(registry, &format!("mqe.q{i}"), q.len()))
+                .collect(),
+        );
         self
     }
 }
@@ -66,6 +83,9 @@ impl CombineJob for MqeJob<'_> {
                 }
             }
             if let Some(k) = q.matching_stratum(t) {
+                if let Some(c) = &self.counters {
+                    c[i].candidate(k);
+                }
                 out.emit((i, k), t.clone());
             }
         }
@@ -95,7 +115,12 @@ impl CombineJob for MqeJob<'_> {
     ) -> Vec<Individual> {
         let f = self.queries[key.0].stratum(key.1).frequency;
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
-        unified_sampler(values, f, &mut rng)
+        let seen: u64 = values.iter().map(|s| s.drawn_from as u64).sum();
+        let sample = unified_sampler(values, f, &mut rng);
+        if let Some(c) = &self.counters {
+            c[key.0].reduced(key.1, sample.len() as u64, seen);
+        }
+        sample
     }
 
     fn input_bytes(&self, t: &Individual) -> u64 {
@@ -103,11 +128,7 @@ impl CombineJob for MqeJob<'_> {
     }
 
     fn comb_bytes(&self, _key: &QueryStratum, s: &IntermediateSample<Individual>) -> u64 {
-        s.sample
-            .iter()
-            .map(crate::input::wire_bytes)
-            .sum::<u64>()
-            + 16
+        s.sample.iter().map(crate::input::wire_bytes).sum::<u64>() + 16
     }
 }
 
@@ -129,9 +150,13 @@ pub fn mr_mqe_on_splits(
     exclusions: Option<&[HashSet<u64>]>,
     seed: u64,
 ) -> MqeRun {
+    let _span = cluster.telemetry().map(|t| t.span("mqe.run"));
     let mut job = MqeJob::new(queries);
     if let Some(ex) = exclusions {
         job = job.with_exclusions(ex);
+    }
+    if let Some(registry) = cluster.telemetry() {
+        job = job.with_telemetry(registry);
     }
     let out = cluster.run_with_combiner(&job, splits, seed);
     let mut answers: Vec<SsdAnswer> = queries.iter().map(|q| SsdAnswer::empty(q.len())).collect();
@@ -232,6 +257,32 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_per_query_strata() {
+        use stratmr_telemetry::Registry;
+        let registry = Registry::new();
+        let data = dataset(1000).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2).with_telemetry(registry.clone());
+        let qs = queries();
+        let run = mr_mqe(&cluster, &data, &qs, 5);
+        let snap = registry.snapshot();
+        let mut candidates_total = 0;
+        for (i, q) in qs.iter().enumerate() {
+            for k in 0..q.len() {
+                let sampled = snap.counter(&format!("mqe.q{i}.s{k}.sampled"));
+                let rejected = snap.counter(&format!("mqe.q{i}.s{k}.rejected"));
+                let candidates = snap.counter(&format!("mqe.q{i}.s{k}.candidates"));
+                assert_eq!(sampled, run.answer.answer(i).stratum(k).len() as u64);
+                assert_eq!(candidates, sampled + rejected);
+                candidates_total += candidates;
+            }
+        }
+        // one emitted pair per (tuple, matching query)
+        assert_eq!(candidates_total, snap.counter("mr.map.output_records"));
+        assert_eq!(snap.span_calls("mqe.run"), 1);
+        assert_eq!(snap.span_calls("mqe.run/mr.job"), 1);
+    }
+
+    #[test]
     fn exclusions_are_respected() {
         let data = dataset(200).distribute(2, 4, Placement::RoundRobin);
         let cluster = Cluster::new(2);
@@ -245,11 +296,7 @@ mod tests {
         let exclusions = vec![ex0.clone(), HashSet::new()];
         let splits = crate::input::to_input_splits(&data);
         let run = mr_mqe_on_splits(&cluster, &splits, &qs, Some(&exclusions), 3);
-        assert!(run
-            .answer
-            .answer(0)
-            .iter()
-            .all(|t| !ex0.contains(&t.id)));
+        assert!(run.answer.answer(0).iter().all(|t| !ex0.contains(&t.id)));
         assert_eq!(run.answer.answer(0).len(), 10);
         assert_eq!(run.answer.answer(1).len(), 10);
     }

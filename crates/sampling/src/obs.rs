@@ -1,0 +1,68 @@
+//! Telemetry plumbing for the sampling jobs.
+//!
+//! The MapReduce jobs in this crate run their `map`/`combine`/`reduce`
+//! callbacks inside the cluster's parallel sections, so counter handles
+//! are prefetched here once per job (taking the registry lock) and the
+//! hot paths only touch lock-free atomics.
+//!
+//! Counter naming scheme (all monotone `u64`):
+//!
+//! | name | meaning |
+//! |---|---|
+//! | `<job>.s<k>.candidates` | map-phase tuples matched into stratum `k` |
+//! | `<job>.s<k>.sampled` | tuples in stratum `k`'s final sample |
+//! | `<job>.s<k>.rejected` | candidates observed but not selected |
+//!
+//! where `<job>` is `sqe`, `mqe.q<i>` (per query), `cps.combined`
+//! (per combined-query stratum) or `cps.residual` (aggregate, because
+//! its keys are dynamic `(query, σ)` pairs).
+
+use stratmr_telemetry::{Counter, Registry};
+
+/// Prefetched per-stratum counter handles for one sampling job.
+pub(crate) struct StratumCounters {
+    candidates: Vec<Counter>,
+    sampled: Vec<Counter>,
+    rejected: Vec<Counter>,
+}
+
+impl StratumCounters {
+    /// One `candidates`/`sampled`/`rejected` counter trio per stratum,
+    /// named `<prefix>.s<k>.<field>`.
+    pub fn per_stratum(registry: &Registry, prefix: &str, n_strata: usize) -> Self {
+        let fetch = |field: &str| {
+            (0..n_strata)
+                .map(|k| registry.counter(&format!("{prefix}.s{k}.{field}")))
+                .collect()
+        };
+        Self {
+            candidates: fetch("candidates"),
+            sampled: fetch("sampled"),
+            rejected: fetch("rejected"),
+        }
+    }
+
+    /// A single aggregate trio named `<prefix>.<field>`, for jobs whose
+    /// key space is not a fixed stratum range. Record with index 0.
+    pub fn aggregate(registry: &Registry, prefix: &str) -> Self {
+        let fetch = |field: &str| vec![registry.counter(&format!("{prefix}.{field}"))];
+        Self {
+            candidates: fetch("candidates"),
+            sampled: fetch("sampled"),
+            rejected: fetch("rejected"),
+        }
+    }
+
+    /// A map-phase match for stratum `k`.
+    #[inline]
+    pub fn candidate(&self, k: usize) {
+        self.candidates[k].inc();
+    }
+
+    /// Stratum `k`'s reducer produced `sampled` tuples out of `seen`
+    /// observed candidates.
+    pub fn reduced(&self, k: usize, sampled: u64, seen: u64) {
+        self.sampled[k].add(sampled);
+        self.rejected[k].add(seen.saturating_sub(sampled));
+    }
+}

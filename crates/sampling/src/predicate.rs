@@ -125,7 +125,10 @@ mod tests {
         }
         let chi2 = chi2_uniform(&counts);
         let crit = chi2_critical_999(199);
-        assert!(chi2 < crit, "unexpected bias under shuffle: {chi2} >= {crit}");
+        assert!(
+            chi2 < crit,
+            "unexpected bias under shuffle: {chi2} >= {crit}"
+        );
     }
 
     #[test]

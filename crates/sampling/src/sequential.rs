@@ -83,8 +83,9 @@ mod tests {
     #[test]
     fn distributed_sampler_matches_sequential_distribution() {
         let schema = Schema::new(vec![AttrDef::numeric("x", 0, 0)]);
-        let tuples: Vec<Individual> =
-            (0..12u64).map(|i| Individual::new(i, vec![0], 10)).collect();
+        let tuples: Vec<Individual> = (0..12u64)
+            .map(|i| Individual::new(i, vec![0], 10))
+            .collect();
         let data = Dataset::new(schema, tuples);
         let dist = data.distribute(3, 3, Placement::Contiguous);
         let splits = to_input_splits(&dist);

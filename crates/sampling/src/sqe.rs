@@ -11,6 +11,7 @@
 //! reducer merges the intermediate samples without bias via the unified
 //! sampler (Algorithm 1).
 
+use crate::obs::StratumCounters;
 use crate::reservoir::Reservoir;
 use crate::unified::{unified_sampler, IntermediateSample};
 use rand::SeedableRng;
@@ -18,6 +19,7 @@ use rand_chacha::ChaCha8Rng;
 use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, TaskCtx};
 use stratmr_population::{DistributedDataset, Individual};
 use stratmr_query::{SsdAnswer, SsdQuery, StratumId, StratumIndex};
+use stratmr_telemetry::Registry;
 
 pub use crate::naive::SqeRun;
 
@@ -25,12 +27,17 @@ pub use crate::naive::SqeRun;
 pub struct SqeJob<'a> {
     query: &'a SsdQuery,
     index: Option<StratumIndex>,
+    counters: Option<StratumCounters>,
 }
 
 impl<'a> SqeJob<'a> {
     /// Build the job for one SSD query.
     pub fn new(query: &'a SsdQuery) -> Self {
-        Self { query, index: None }
+        Self {
+            query,
+            index: None,
+            counters: None,
+        }
     }
 
     /// Match tuples through a [`StratumIndex`] instead of a linear scan —
@@ -38,6 +45,17 @@ impl<'a> SqeJob<'a> {
     /// strata (the Large group's 256 per SSD).
     pub fn with_index(mut self) -> Self {
         self.index = Some(StratumIndex::build(self.query));
+        self
+    }
+
+    /// Emit per-stratum `sqe.s<k>.{candidates,sampled,rejected}`
+    /// counters into `registry`.
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.counters = Some(StratumCounters::per_stratum(
+            registry,
+            "sqe",
+            self.query.len(),
+        ));
         self
     }
 }
@@ -55,6 +73,9 @@ impl CombineJob for SqeJob<'_> {
             None => self.query.matching_stratum(t),
         };
         if let Some(k) = stratum {
+            if let Some(c) = &self.counters {
+                c.candidate(k);
+            }
             out.emit(k, t.clone());
         }
     }
@@ -83,7 +104,12 @@ impl CombineJob for SqeJob<'_> {
     ) -> Vec<Individual> {
         let f = self.query.stratum(*key).frequency;
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
-        unified_sampler(values, f, &mut rng)
+        let seen: u64 = values.iter().map(|s| s.drawn_from as u64).sum();
+        let sample = unified_sampler(values, f, &mut rng);
+        if let Some(c) = &self.counters {
+            c.reduced(*key, sample.len() as u64, seen);
+        }
+        sample
     }
 
     fn input_bytes(&self, t: &Individual) -> u64 {
@@ -92,11 +118,7 @@ impl CombineJob for SqeJob<'_> {
 
     fn comb_bytes(&self, _key: &StratumId, s: &IntermediateSample<Individual>) -> u64 {
         // the intermediate sample's projected tuples plus the (key, N̄) header
-        s.sample
-            .iter()
-            .map(crate::input::wire_bytes)
-            .sum::<u64>()
-            + 16
+        s.sample.iter().map(crate::input::wire_bytes).sum::<u64>() + 16
     }
 }
 
@@ -118,16 +140,26 @@ pub fn mr_sqe_indexed_on_splits(
     query: &SsdQuery,
     seed: u64,
 ) -> SqeRun {
-    mr_sqe_with_job(cluster, splits, query, SqeJob::new(query).with_index(), seed)
+    mr_sqe_with_job(
+        cluster,
+        splits,
+        query,
+        SqeJob::new(query).with_index(),
+        seed,
+    )
 }
 
 fn mr_sqe_with_job(
     cluster: &Cluster,
     splits: &[InputSplit<Individual>],
     query: &SsdQuery,
-    job: SqeJob<'_>,
+    mut job: SqeJob<'_>,
     seed: u64,
 ) -> SqeRun {
+    let _span = cluster.telemetry().map(|t| t.span("sqe.run"));
+    if let Some(registry) = cluster.telemetry() {
+        job = job.with_telemetry(registry);
+    }
     let out = cluster.run_with_combiner(&job, splits, seed);
     let mut answer = SsdAnswer::empty(query.len());
     for (k, sample) in out.results {
@@ -140,12 +172,7 @@ fn mr_sqe_with_job(
 }
 
 /// Run MR-SQE over a distributed dataset.
-pub fn mr_sqe(
-    cluster: &Cluster,
-    data: &DistributedDataset,
-    query: &SsdQuery,
-    seed: u64,
-) -> SqeRun {
+pub fn mr_sqe(cluster: &Cluster, data: &DistributedDataset, query: &SsdQuery, seed: u64) -> SqeRun {
     mr_sqe_on_splits(cluster, &crate::input::to_input_splits(data), query, seed)
 }
 
@@ -236,7 +263,10 @@ mod tests {
         let plain = mr_sqe_on_splits(&cluster, &splits, &q, 31);
         let indexed = super::mr_sqe_indexed_on_splits(&cluster, &splits, &q, 31);
         assert_eq!(plain.answer, indexed.answer, "index changed the sample");
-        assert_eq!(plain.stats.map_output_records, indexed.stats.map_output_records);
+        assert_eq!(
+            plain.stats.map_output_records,
+            indexed.stats.map_output_records
+        );
     }
 
     /// The central §4.2 claim: MR-SQE is unbiased even when the data
@@ -249,7 +279,9 @@ mod tests {
         let schema = Schema::new(vec![AttrDef::numeric("x", 0, 99)]);
         // 24 "men" (x = 0), placed so machine 1 holds 4 and machine 2
         // holds 20 — the unequal-blocks scenario of §4.2.
-        let tuples: Vec<Individual> = (0..24u64).map(|i| Individual::new(i, vec![0], 10)).collect();
+        let tuples: Vec<Individual> = (0..24u64)
+            .map(|i| Individual::new(i, vec![0], 10))
+            .collect();
         let data = Dataset::new(schema, tuples).distribute(2, 2, Placement::Contiguous);
         let q = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(x, 0), 2)]);
         let cluster = Cluster::new(2);
@@ -263,7 +295,39 @@ mod tests {
         }
         let chi2 = chi2_uniform(&counts);
         let crit = chi2_critical_999(23);
-        assert!(chi2 < crit, "MR-SQE biased: chi2 {chi2} >= {crit}\n{counts:?}");
+        assert!(
+            chi2 < crit,
+            "MR-SQE biased: chi2 {chi2} >= {crit}\n{counts:?}"
+        );
+    }
+
+    /// Per-stratum telemetry: `candidates = sampled + rejected`, the
+    /// sampled counters equal the answer sizes, and the run's spans nest
+    /// under `sqe.run`.
+    #[test]
+    fn telemetry_counts_candidates_and_samples() {
+        use stratmr_telemetry::Registry;
+        let registry = Registry::new();
+        let data = dataset(1000).distribute(3, 6, Placement::RoundRobin);
+        let cluster = Cluster::new(3).with_telemetry(registry.clone());
+        let q = two_strata_query(7, 9);
+        let run = mr_sqe(&cluster, &data, &q, 13);
+        let snap = registry.snapshot();
+        for k in 0..2 {
+            let candidates = snap.counter(&format!("sqe.s{k}.candidates"));
+            let sampled = snap.counter(&format!("sqe.s{k}.sampled"));
+            let rejected = snap.counter(&format!("sqe.s{k}.rejected"));
+            assert_eq!(candidates, 500, "x is uniform over 0..100");
+            assert_eq!(sampled, run.answer.stratum(k).len() as u64);
+            assert_eq!(candidates, sampled + rejected);
+        }
+        // map-phase matches across strata equal the job's emitted records
+        assert_eq!(
+            snap.counter("sqe.s0.candidates") + snap.counter("sqe.s1.candidates"),
+            snap.counter("mr.map.output_records")
+        );
+        assert_eq!(snap.span_calls("sqe.run"), 1);
+        assert_eq!(snap.span_calls("sqe.run/mr.job"), 1);
     }
 
     /// Example 5 of the paper, verbatim: 64 individuals (30 men, 34

@@ -82,13 +82,7 @@ impl StratumSelection {
     pub fn projection(&self, i: usize, queries: &[SsdQuery]) -> Formula {
         match self.stratum_of(i) {
             Some(k) => queries[i].stratum(k).formula.clone(),
-            None => Formula::any(
-                queries[i]
-                    .constraints()
-                    .iter()
-                    .map(|s| s.formula.clone()),
-            )
-            .not(),
+            None => Formula::any(queries[i].constraints().iter().map(|s| s.formula.clone())).not(),
         }
     }
 
@@ -235,7 +229,10 @@ impl Sst {
     ) {
         if depth == self.n_queries {
             if self.nodes[node].count > 0 {
-                out.push((StratumSelection(path.as_slice().into()), self.nodes[node].count));
+                out.push((
+                    StratumSelection(path.as_slice().into()),
+                    self.nodes[node].count,
+                ));
             }
             return;
         }

@@ -84,6 +84,31 @@ pub fn chi2_critical_999(df: usize) -> f64 {
     df * t.powi(3)
 }
 
+/// Half-width of the two-sided acceptance region for a Binomial(`trials`,
+/// `p`) count: `z·σ + 0.5` (normal approximation with continuity
+/// correction, `σ = sqrt(trials·p·(1−p))`). `z` is the explicit
+/// tolerance in standard deviations — e.g. `z = 4` rejects a true
+/// binomial with probability ≈ 6·10⁻⁵; since every statistical test in
+/// this repo runs on explicit seeds, a passing seed passes forever.
+pub fn binomial_two_sided_bound(trials: u64, p: f64, z: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    z * (trials as f64 * p * (1.0 - p)).sqrt() + 0.5
+}
+
+/// Two-sided binomial check: is `successes` out of `trials` within
+/// `z` standard deviations of the expected `trials·p`?
+pub fn binomial_within_bound(successes: u64, trials: u64, p: f64, z: f64) -> bool {
+    let expected = trials as f64 * p;
+    (successes as f64 - expected).abs() <= binomial_two_sided_bound(trials, p, z)
+}
+
+/// One-stop chi-square goodness-of-fit check: Pearson statistic of
+/// `observed` against `expected` below the 99.9th-percentile critical
+/// value at `observed.len() − 1` degrees of freedom.
+pub fn chi2_gof_ok(observed: &[u64], expected: &[f64]) -> bool {
+    chi2_statistic(observed, expected) < chi2_critical_999(observed.len() - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +174,31 @@ mod tests {
     fn chi2_statistic_skips_zero_expectation() {
         let stat = chi2_statistic(&[5, 0], &[5.0, 0.0]);
         assert_eq!(stat, 0.0);
+    }
+
+    #[test]
+    fn binomial_bound_widens_with_z_and_trials() {
+        let b1 = binomial_two_sided_bound(400, 0.5, 3.0);
+        // σ = sqrt(400·0.25) = 10 → 3σ + 0.5 = 30.5
+        close(b1, 30.5, 1e-9);
+        assert!(binomial_two_sided_bound(400, 0.5, 4.0) > b1);
+        assert!(binomial_two_sided_bound(1600, 0.5, 3.0) > b1);
+        // degenerate probabilities leave only the continuity slack
+        close(binomial_two_sided_bound(100, 0.0, 3.0), 0.5, 1e-12);
+        close(binomial_two_sided_bound(100, 1.0, 3.0), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn binomial_check_accepts_expected_and_rejects_extreme() {
+        assert!(binomial_within_bound(200, 400, 0.5, 3.0));
+        assert!(binomial_within_bound(225, 400, 0.5, 3.0)); // 2.5σ
+        assert!(!binomial_within_bound(260, 400, 0.5, 3.0)); // 6σ
+        assert!(!binomial_within_bound(140, 400, 0.5, 3.0)); // −6σ
+    }
+
+    #[test]
+    fn chi2_gof_accepts_good_fit_and_rejects_bad() {
+        assert!(chi2_gof_ok(&[98, 102, 100, 100], &[100.0; 4]));
+        assert!(!chi2_gof_ok(&[400, 0, 0, 0], &[100.0; 4]));
     }
 }

@@ -66,12 +66,7 @@ impl StreamingSampler {
 
     /// A valid stratified sample of everything observed so far.
     pub fn snapshot(&self) -> SsdAnswer {
-        SsdAnswer::from_strata(
-            self.reservoirs
-                .iter()
-                .map(|r| r.items().to_vec())
-                .collect(),
-        )
+        SsdAnswer::from_strata(self.reservoirs.iter().map(|r| r.items().to_vec()).collect())
     }
 
     /// Finish the stream, producing the final answer.

@@ -173,8 +173,8 @@ mod tests {
         let mut r = rng(5);
         for _ in 0..trials {
             let samples = vec![
-                IntermediateSample::new(vec![10, 11], 4),   // block 1 ids
-                IntermediateSample::new(vec![20, 21], 8),   // block 2 ids
+                IntermediateSample::new(vec![10, 11], 4), // block 1 ids
+                IntermediateSample::new(vec![20, 21], 8), // block 2 ids
             ];
             let out = unified_sampler(samples, 2, &mut r);
             let c1 = out.iter().filter(|&&v| v < 20).count();
@@ -214,7 +214,10 @@ mod tests {
         }
         let chi2 = chi2_uniform(&counts);
         let crit = chi2_critical_999(11);
-        assert!(chi2 < crit, "not uniform: chi2 {chi2} >= {crit}, {counts:?}");
+        assert!(
+            chi2 < crit,
+            "not uniform: chi2 {chi2} >= {crit}, {counts:?}"
+        );
     }
 
     /// The broken strategy the paper warns against — uniform choice over

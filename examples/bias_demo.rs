@@ -71,8 +71,14 @@ fn main() {
     let naive_chi2 = chi2_uniform(&naive_counts);
     let unified_chi2 = chi2_uniform(&unified_counts);
     println!("\nchi-square vs uniform (critical value at α=0.001: {crit:.1}):");
-    println!("  naive union     : {naive_chi2:>10.1}  → {}", verdict(naive_chi2, crit));
-    println!("  unified sampler : {unified_chi2:>10.1}  → {}", verdict(unified_chi2, crit));
+    println!(
+        "  naive union     : {naive_chi2:>10.1}  → {}",
+        verdict(naive_chi2, crit)
+    );
+    println!(
+        "  unified sampler : {unified_chi2:>10.1}  → {}",
+        verdict(unified_chi2, crit)
+    );
 
     assert!(naive_chi2 > crit, "naive bias should be detectable");
     assert!(unified_chi2 < crit, "unified sampler must be unbiased");

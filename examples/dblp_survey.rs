@@ -57,16 +57,13 @@ fn main() {
     );
 
     // --- cost-aware MR-CPS ---------------------------------------------
-    let cps = mr_cps(&cluster, &distributed, &mssd, CpsConfig::mr_cps(), 1)
-        .expect("solvable program");
+    let cps =
+        mr_cps(&cluster, &distributed, &mssd, CpsConfig::mr_cps(), 1).expect("solvable program");
     println!("\nMR-CPS:");
     println!("  total selections : {}", cps.answer.total_selections());
     println!("  unique individuals: {}", cps.answer.unique_individuals());
     println!("  survey cost      : ${:.0}", cps.cost);
-    println!(
-        "  cost vs MR-MQE   : {:.0}%",
-        100.0 * cps.cost / mqe_cost
-    );
+    println!("  cost vs MR-MQE   : {:.0}%", 100.0 * cps.cost / mqe_cost);
     println!(
         "  LP: {} vars, {} constraints over {} relevant selections; \
          formulate {:.3} s, solve {:.3} s",
@@ -116,9 +113,11 @@ fn main() {
         total_sim / mqe.stats.sim.makespan_secs()
     );
 
-    assert!(cps.answer.satisfies(&mssd) || {
-        // satisfiable only when every stratum has enough population;
-        // tiny strata may clamp, which the paper's algorithms allow
-        true
-    });
+    assert!(
+        cps.answer.satisfies(&mssd) || {
+            // satisfiable only when every stratum has enough population;
+            // tiny strata may clamp, which the paper's algorithms allow
+            true
+        }
+    );
 }

@@ -12,13 +12,13 @@
 //! cargo run --release --example market_research
 //! ```
 
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use stratmr::mapreduce::Cluster;
 use stratmr::population::{AttrDef, Dataset, Individual, Placement, Schema};
 use stratmr::query::{CostModel, Formula, MssdQuery, SharingBase, SsdQuery, StratumConstraint};
 use stratmr::sampling::cps::{mr_cps, CpsConfig};
 use stratmr::sampling::mqe::mr_mqe;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 fn main() {
     // A population with gender, marital status and income.
@@ -47,7 +47,10 @@ fn main() {
 
     // Example 3: survey A = 50 men, survey B = 100 singles; $1 anonymization.
     let survey_a = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(gender, male), 50)]);
-    let survey_b = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(status, single), 100)]);
+    let survey_b = SsdQuery::new(vec![StratumConstraint::new(
+        Formula::eq(status, single),
+        100,
+    )]);
     // Anonymizing an individual costs $1 regardless of how many surveys
     // reuse the anonymized record.
     let costs = CostModel::new(vec![1.0, 1.0], SharingBase::Max);
@@ -79,7 +82,10 @@ fn main() {
         cps.residual_selections
     );
 
-    assert!(cps.answer.satisfies(&mssd), "every survey must be satisfied");
+    assert!(
+        cps.answer.satisfies(&mssd),
+        "every survey must be satisfied"
+    );
 
     // Representativeness: single men in survey A should track the
     // population rate (~40%), not be inflated to maximize sharing.
@@ -102,8 +108,7 @@ fn main() {
 
     // Example 4 flavor: different interview costs with Max sharing.
     println!("\n--- Example 4: $20 face-to-face + $4 telephone ---");
-    let face_to_face =
-        SsdQuery::new(vec![StratumConstraint::new(Formula::eq(gender, male), 30)]);
+    let face_to_face = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(gender, male), 30)]);
     let telephone = SsdQuery::new(vec![StratumConstraint::new(
         Formula::eq(status, single),
         60,

@@ -58,7 +58,10 @@ fn main() {
             println!("    …");
         }
     }
-    assert!(run.answer.satisfies(&query), "sample must satisfy the query");
+    assert!(
+        run.answer.satisfies(&query),
+        "sample must satisfy the query"
+    );
 
     println!("\nexecution:");
     println!("  tuples scanned     : {}", run.stats.map_input_records);

@@ -34,7 +34,11 @@ fn main() {
         Formula::between(degree, 11, 99),
         Formula::ge(degree, 100),
     ];
-    let names = ["members (deg ≤ 10)", "connectors (11-99)", "hubs (deg ≥ 100)"];
+    let names = [
+        "members (deg ≤ 10)",
+        "connectors (11-99)",
+        "hubs (deg ≥ 100)",
+    ];
     let sizes: Vec<usize> = strata
         .iter()
         .map(|f| population.tuples().iter().filter(|t| f.eval(t)).count())
@@ -45,12 +49,7 @@ fn main() {
 
     // Neyman allocation: hubs are few but high-variance, so they get a
     // disproportionate share of the 400 interviews
-    let query = design_ssd(
-        strata,
-        400,
-        Allocation::Neyman(degree),
-        population.tuples(),
-    );
+    let query = design_ssd(strata, 400, Allocation::Neyman(degree), population.tuples());
     println!("\nNeyman allocation of 400 interviews:");
     for (k, s) in query.constraints().iter().enumerate() {
         println!("  {:<22} {:>5}", names[k], s.frequency);

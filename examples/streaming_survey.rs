@@ -57,11 +57,7 @@ fn main() {
     // members must be weighted by the east stream's larger population
     let total_east = east.observed();
     let total_west = west.observed();
-    let merged = merge_streams(
-        &query,
-        vec![east.into_partials(), west.into_partials()],
-        99,
-    );
+    let merged = merge_streams(&query, vec![east.into_partials(), west.into_partials()], 99);
     assert!(merged.satisfies(&query));
     let region = schema.attr_id("region").unwrap();
     let east_members = merged.iter().filter(|t| t.get(region) == 0).count();

@@ -235,8 +235,8 @@ fn default_sharing() -> String {
 pub fn build_ssd(spec: &SsdSpec, schema: &Schema) -> Result<SsdQuery, Box<dyn Error>> {
     let mut constraints = Vec::with_capacity(spec.strata.len());
     for s in &spec.strata {
-        let formula = parse_formula(&s.r#where, schema)
-            .map_err(|e| format!("in {:?}: {e}", s.r#where))?;
+        let formula =
+            parse_formula(&s.r#where, schema).map_err(|e| format!("in {:?}: {e}", s.r#where))?;
         constraints.push(StratumConstraint::new(formula, s.take));
     }
     Ok(SsdQuery::new(constraints))
@@ -267,11 +267,7 @@ fn load_population(path: &PathBuf) -> Result<Dataset, Box<dyn Error>> {
     Ok(read_csv(&schema, BufReader::new(file))?)
 }
 
-fn write_sample(
-    path: &PathBuf,
-    schema: &Schema,
-    answer: &SsdAnswer,
-) -> Result<(), Box<dyn Error>> {
+fn write_sample(path: &PathBuf, schema: &Schema, answer: &SsdAnswer) -> Result<(), Box<dyn Error>> {
     let sample = Dataset::new(schema.clone(), answer.iter().cloned().collect());
     let file = File::create(path)?;
     write_csv(&sample, BufWriter::new(file))?;
@@ -371,8 +367,7 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
             for (k, s) in query.constraints().iter().enumerate() {
                 let have = strata[k].len();
                 let want = s.frequency;
-                let population: usize =
-                    pop.tuples().iter().filter(|t| s.matches(t)).count();
+                let population: usize = pop.tuples().iter().filter(|t| s.matches(t)).count();
                 let expected = want.min(population);
                 let verdict = if have == expected { "ok" } else { "MISMATCH" };
                 if have != expected {
@@ -481,7 +476,10 @@ mod tests {
         let cmd = parse_args(&args("sample --data d.csv --spec q.json")).unwrap();
         match cmd {
             Command::Sample {
-                machines, seed, out, ..
+                machines,
+                seed,
+                out,
+                ..
             } => {
                 assert_eq!(machines, 10);
                 assert_eq!(seed, 42);
@@ -494,10 +492,16 @@ mod tests {
     #[test]
     fn missing_flags_and_unknown_commands_error() {
         assert!(parse_args(&args("gen")).unwrap_err().contains("--out"));
-        assert!(parse_args(&args("explode")).unwrap_err().contains("unknown"));
-        assert!(parse_args(&args("gen --out")).unwrap_err().contains("needs a value"));
+        assert!(parse_args(&args("explode"))
+            .unwrap_err()
+            .contains("unknown"));
+        assert!(parse_args(&args("gen --out"))
+            .unwrap_err()
+            .contains("needs a value"));
         assert!(parse_args(&[]).is_err());
-        assert!(parse_args(&args("gen stray --out f")).unwrap_err().contains("unexpected"));
+        assert!(parse_args(&args("gen stray --out f"))
+            .unwrap_err()
+            .contains("unexpected"));
     }
 
     #[test]
@@ -549,10 +553,8 @@ mod tests {
     #[test]
     fn unknown_sharing_rule_rejected() {
         let schema = DblpGenerator::schema();
-        let spec: MssdSpec = serde_json::from_str(
-            r#"{ "surveys": [], "sharing": "mystery" }"#,
-        )
-        .unwrap();
+        let spec: MssdSpec =
+            serde_json::from_str(r#"{ "surveys": [], "sharing": "mystery" }"#).unwrap();
         assert!(build_mssd(&spec, &schema).is_err());
     }
 

@@ -11,7 +11,9 @@ use stratmr::population::{AttrDef, AttrId, Dataset, Individual, Placement, Schem
 use stratmr::query::{Formula, SsdQuery, StratumConstraint};
 use stratmr::sampling::naive::naive_sqe;
 use stratmr::sampling::sqe::mr_sqe;
-use stratmr::sampling::stats::{chi2_critical_999, chi2_uniform, hypergeometric_pmf};
+use stratmr::sampling::stats::{
+    binomial_within_bound, chi2_critical_999, chi2_gof_ok, chi2_uniform, hypergeometric_pmf,
+};
 
 fn skewed_population(n: usize) -> (Dataset, AttrId) {
     // attribute encodes a "region": values sorted, so SortedBy placement
@@ -83,6 +85,61 @@ fn naive_mapreduce_sampler_is_also_unbiased() {
     assert!(chi2 < crit, "naive sampler biased: {chi2} >= {crit}");
 }
 
+/// Per-individual inclusion frequencies across ≥200 explicitly seeded
+/// MR-SQE runs. Each individual in stratum `k` must be included with
+/// probability `f_k / N_k`, so its inclusion count over `trials` runs is
+/// Binomial(trials, f_k/N_k) — checked with an explicit z-tolerance per
+/// individual and a chi-square goodness-of-fit per stratum. Unequal
+/// stratum fractions (4/60 vs 9/60) would expose any bias that a single
+/// uniform-stratum test could mask.
+#[test]
+fn per_stratum_inclusion_frequencies_are_unbiased() {
+    let (data, region) = skewed_population(120);
+    let dist = data.distribute(4, 6, Placement::SortedBy(region));
+    // stratum 0: regions 0..5 (60 eligible, f = 4); stratum 1: regions
+    // 5..10 (60 eligible, f = 9) — different inclusion probabilities.
+    let q = SsdQuery::new(vec![
+        StratumConstraint::new(Formula::lt(region, 5), 4),
+        StratumConstraint::new(Formula::ge(region, 5), 9),
+    ]);
+    let cluster = Cluster::new(4);
+
+    let trials: u64 = 250; // explicit seeds 0..250
+    let fractions = [4.0 / 60.0, 9.0 / 60.0];
+    let mut counts = vec![0u64; 120];
+    for seed in 0..trials {
+        let run = mr_sqe(&cluster, &dist, &q, seed);
+        assert_eq!(run.answer.stratum(0).len(), 4);
+        assert_eq!(run.answer.stratum(1).len(), 9);
+        for k in 0..2 {
+            for t in run.answer.stratum(k) {
+                counts[t.id as usize] += 1;
+            }
+        }
+    }
+    // per-individual two-sided binomial check, tolerance z = 4.5σ
+    for (id, &c) in counts.iter().enumerate() {
+        let stratum = usize::from(id % 10 >= 5);
+        let p = fractions[stratum];
+        assert!(
+            binomial_within_bound(c, trials, p, 4.5),
+            "individual {id} (stratum {stratum}): included {c} of {trials} runs, p = {p:.4}"
+        );
+    }
+    // per-stratum chi-square GOF against the flat expectation
+    for (k, &f) in fractions.iter().enumerate() {
+        let observed: Vec<u64> = (0..120)
+            .filter(|id| usize::from(id % 10 >= 5) == k)
+            .map(|id| counts[id])
+            .collect();
+        let expected = vec![trials as f64 * f; observed.len()];
+        assert!(
+            chi2_gof_ok(&observed, &expected),
+            "stratum {k} inclusion frequencies biased"
+        );
+    }
+}
+
 /// Remark 1: within one sub-relation `R_j`, the number of selected
 /// tuples among the first `x` tuples follows a hypergeometric
 /// distribution. We verify the full-population version: the count of
@@ -91,13 +148,12 @@ fn naive_mapreduce_sampler_is_also_unbiased() {
 fn per_machine_selection_counts_are_hypergeometric() {
     let schema = Schema::new(vec![AttrDef::numeric("v", 0, 0)]);
     // 30 identical individuals: machine 1 holds 12, machine 2 holds 18
-    let tuples: Vec<Individual> = (0..30u64).map(|i| Individual::new(i, vec![0], 10)).collect();
+    let tuples: Vec<Individual> = (0..30u64)
+        .map(|i| Individual::new(i, vec![0], 10))
+        .collect();
     let data = Dataset::new(schema, tuples);
     let dist = data.distribute(2, 2, Placement::Contiguous); // 15 / 15
-    let q = SsdQuery::new(vec![StratumConstraint::new(
-        Formula::eq(AttrId(0), 0),
-        4,
-    )]);
+    let q = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(AttrId(0), 0), 4)]);
     let cluster = Cluster::new(2);
 
     let trials = 20_000u64;
@@ -114,7 +170,10 @@ fn per_machine_selection_counts_are_hypergeometric() {
         chi2 += (counts[y as usize] as f64 - expected).powi(2) / expected;
     }
     let crit = chi2_critical_999(4);
-    assert!(chi2 < crit, "block counts not hypergeometric: {chi2} >= {crit}");
+    assert!(
+        chi2 < crit,
+        "block counts not hypergeometric: {chi2} >= {crit}"
+    );
 }
 
 /// Stratification never leaks: tuples outside every stratum are never
@@ -144,10 +203,7 @@ fn no_stratum_no_selection() {
 fn cross_crate_determinism() {
     let (data, _region) = skewed_population(300);
     let dist = data.distribute(5, 10, Placement::RoundRobin);
-    let q = SsdQuery::new(vec![StratumConstraint::new(
-        Formula::ge(AttrId(0), 5),
-        11,
-    )]);
+    let q = SsdQuery::new(vec![StratumConstraint::new(Formula::ge(AttrId(0), 5), 11)]);
     let cluster = Cluster::new(5);
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     use rand::Rng;

@@ -26,7 +26,12 @@ fn standard_error_scales_with_sample_size() {
 
     let mut errors = Vec::new();
     for budget in [100usize, 400, 1600] {
-        let q = design_ssd(strata.clone(), budget, Allocation::Proportional, data.tuples());
+        let q = design_ssd(
+            strata.clone(),
+            budget,
+            Allocation::Proportional,
+            data.tuples(),
+        );
         let run = mr_sqe_on_splits(&cluster, &splits, &q, 3);
         let est = stratified_mean(&run.answer, &sizes, cc);
         errors.push(est.std_error);
@@ -53,8 +58,7 @@ fn confidence_intervals_cover_nominally() {
     // trustworthy at this budget (heavy-tailed attributes like nop need
     // far larger tail-stratum samples for nominal coverage)
     let fy = schema.attr_id("fy").unwrap();
-    let truth =
-        data.tuples().iter().map(|t| t.get(fy) as f64).sum::<f64>() / data.len() as f64;
+    let truth = data.tuples().iter().map(|t| t.get(fy) as f64).sum::<f64>() / data.len() as f64;
     let strata = vec![Formula::lt(fy, 2000), Formula::ge(fy, 2000)];
     let sizes: Vec<usize> = strata
         .iter()

@@ -27,14 +27,8 @@ fn small_group_end_to_end() {
     // both algorithms (population is large enough for proportional
     // allocation to be satisfiable)
     for (i, q) in mssd.queries().iter().enumerate() {
-        assert!(
-            mqe.answer.answer(i).satisfies(q),
-            "MQE misses query {i}"
-        );
-        assert!(
-            cps.answer.answer(i).satisfies(q),
-            "CPS misses query {i}"
-        );
+        assert!(mqe.answer.answer(i).satisfies(q), "MQE misses query {i}");
+        assert!(cps.answer.answer(i).satisfies(q), "CPS misses query {i}");
     }
     // the optimizer can only help
     let mqe_cost = mqe.answer.cost(mssd.costs());

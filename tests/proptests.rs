@@ -6,6 +6,8 @@
 //! for every instance.
 
 use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use stratmr::mapreduce::Cluster;
 use stratmr::population::{AttrDef, AttrId, Dataset, Individual, Placement, Schema};
 use stratmr::query::{CostModel, Formula, MssdQuery, SsdQuery, StratumConstraint};
@@ -13,8 +15,6 @@ use stratmr::sampling::cps::{mr_cps, CpsConfig};
 use stratmr::sampling::mqe::mr_mqe;
 use stratmr::sampling::sqe::mr_sqe;
 use stratmr::sampling::unified::{unified_sampler, IntermediateSample};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn schema() -> Schema {
     Schema::new(vec![AttrDef::numeric("x", 0, 99)])

@@ -92,9 +92,5 @@ fn hub_stratum_guarantees_rare_group_representation() {
     let dist = population.distribute(4, 8, Placement::RoundRobin);
     let run = mr_sqe(&Cluster::new(4), &dist, &query, 9);
     assert_eq!(run.answer.stratum(1).len(), 30.min(hubs));
-    assert!(run
-        .answer
-        .stratum(1)
-        .iter()
-        .all(|t| t.get(degree) >= 50));
+    assert!(run.answer.stratum(1).iter().all(|t| t.get(degree) >= 50));
 }

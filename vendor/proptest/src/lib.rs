@@ -1,0 +1,630 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the API this workspace uses: the
+//! [`proptest!`] macro, range / tuple / `any` / `Just` / collection
+//! strategies, `prop_map`, `prop_oneof!`, `prop_recursive`, and the
+//! `prop_assert*` macros. Inputs are drawn from an RNG seeded
+//! deterministically from the test's module path and case index, so
+//! every run of a given binary sees the same cases. Failing cases are
+//! reported with their case number; there is no shrinking.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    /// Generates values of an associated type from a seeded RNG.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                inner: self,
+                f: Arc::new(f),
+            }
+        }
+
+        /// Type-erase this strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| s.generate(rng)))
+        }
+
+        /// Build a recursive strategy: at each of `depth` levels the
+        /// generator either stops with what it has built so far or
+        /// applies `recurse` once more (50/50), giving a mix of depths
+        /// up to `depth`.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                let stop = strat.clone();
+                let deeper = recurse(strat).boxed();
+                strat = one_of(vec![stop, deeper]);
+            }
+            strat
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniformly pick one of the given strategies per draw.
+    pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            let i = rng.gen_index(options.len());
+            options[i].generate(rng)
+        }))
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: Arc<F>,
+    }
+
+    impl<S: Clone, F> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                inner: self.inner.clone(),
+                f: Arc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    float_range_strategies!(f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.rng().gen_bool(0.5)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.rng().next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // full-magnitude finite floats, sign included
+            let m: f64 = rng.rng().gen_range(-1.0f64..1.0);
+            let e: i32 = rng.rng().gen_range(-60i32..60);
+            m * (2f64).powi(e)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size specifications for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of a given element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                element: self.element.clone(),
+                size: self.size,
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi_inclusive {
+                self.size.lo
+            } else {
+                use rand::Rng;
+                rng.rng().gen_range(self.size.lo..=self.size.hi_inclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` works after a prelude
+/// glob import, as in upstream proptest.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod test_runner {
+    //! Config, RNG and failure plumbing used by the [`proptest!`] macro.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property does not hold.
+        Fail(String),
+        /// The generated input was rejected (treated as a skip).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Construct a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic per-case RNG handed to strategies.
+    pub struct TestRng {
+        rng: SmallRng,
+    }
+
+    impl TestRng {
+        /// Seeded from the test's identity and the case index, so reruns
+        /// of the same binary generate identical inputs.
+        pub fn deterministic(test_path: &str, case: u64) -> Self {
+            let mut h = DefaultHasher::new();
+            test_path.hash(&mut h);
+            case.hash(&mut h);
+            TestRng {
+                rng: SmallRng::seed_from_u64(h.finish()),
+            }
+        }
+
+        /// Access the underlying RNG.
+        pub fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+
+        /// Uniform index in `0..n`.
+        pub fn gen_index(&mut self, n: usize) -> usize {
+            use rand::Rng;
+            self.rng.gen_range(0..n)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a test file needs, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` followed by `#[test] fn name(args in strategies) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @config($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case as u64,
+                );
+                $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            case,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Uniformly choose among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t1", 0);
+        let s = prop::collection::vec((0u8..12, -100i64..100), 0..300);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 300);
+            for (a, b) in v {
+                assert!(a < 12);
+                assert!((-100..100).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec_is_exact() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t2", 3);
+        let s = prop::collection::vec(-3i8..=3, 6);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v.len(), 6);
+            assert!(v.iter().all(|x| (-3..=3).contains(x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_and_case() {
+        let s = (0u64..u64::MAX, any::<bool>());
+        let mut a = crate::test_runner::TestRng::deterministic("same", 7);
+        let mut b = crate::test_runner::TestRng::deterministic("same", 7);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        let mut c = crate::test_runner::TestRng::deterministic("same", 8);
+        assert_ne!(s.generate(&mut a), s.generate(&mut c));
+    }
+
+    #[test]
+    fn oneof_map_and_recursive_compose() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Expr {
+            Leaf(i64),
+            Not(Box<Expr>),
+            Pair(Box<Expr>, Box<Expr>),
+        }
+        fn depth(e: &Expr) -> u32 {
+            match e {
+                Expr::Leaf(_) => 0,
+                Expr::Not(a) => 1 + depth(a),
+                Expr::Pair(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = prop_oneof![(0i64..10).prop_map(Expr::Leaf), Just(Expr::Leaf(-1)),];
+        let tree = leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b))),
+            ]
+        });
+        let mut rng = crate::test_runner::TestRng::deterministic("t4", 1);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&tree.generate(&mut rng)));
+        }
+        assert!(max_depth >= 1, "recursion never took a deep branch");
+        assert!(max_depth <= 4, "recursion exceeded requested depth");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, config, and prop_assert plumbing.
+        #[test]
+        fn macro_generates_working_tests(
+            xs in prop::collection::vec(0u32..50, 1..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() < 20);
+            prop_assert_eq!(flag as u8, u8::from(flag));
+            let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len(), "length {}", xs.len());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream RNG.
+//!
+//! The cipher core is the reference ChaCha quarter-round network (8
+//! rounds), so the statistical quality matches the upstream crate even
+//! though the output stream is not bit-identical (seeding and word order
+//! follow this implementation, and every consumer in the workspace seeds
+//! explicitly).
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, seeded by a 256-bit key.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "refill".
+    idx: usize,
+}
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // nonce words stay zero: the counter alone spans the stream
+        let input = state;
+        for _ in 0..4 {
+            // a double round = column round + diagonal round
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buf[i] = state[i].wrapping_add(input[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(6);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn zero_rounds_not_identity() {
+        // the keystream must not leak the input state
+        let mut r = ChaCha8Rng::seed_from_u64(0);
+        let w = r.next_u32();
+        assert_ne!(w, CONSTANTS[0]);
+    }
+
+    #[test]
+    fn words_are_roughly_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(11);
+        let mut counts = [0u64; 16];
+        let n = 160_000;
+        for _ in 0..n {
+            counts[(r.next_u32() >> 28) as usize] += 1;
+        }
+        let e = n as f64 / 16.0;
+        let chi2: f64 = counts.iter().map(|&c| (c as f64 - e).powi(2) / e).sum();
+        assert!(chi2 < 45.0, "chi2 {chi2}"); // df = 15, p ≈ 1e-4 bound
+    }
+
+    #[test]
+    fn gen_range_works_through_trait() {
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = r.gen_range(10i64..=20);
+            assert!((10..=20).contains(&v));
+        }
+    }
+}

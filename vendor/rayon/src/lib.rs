@@ -1,0 +1,191 @@
+//! Offline stand-in for `rayon`, covering the slice of the API this
+//! workspace uses: `par_iter()` / `into_par_iter()` followed by
+//! `enumerate()` / `map()` / `collect()`.
+//!
+//! Work is executed on real OS threads via [`std::thread::scope`], split
+//! into contiguous chunks, and results are re-assembled in input order —
+//! the same ordering guarantee rayon's indexed parallel iterators give.
+//! `RAYON_NUM_THREADS` is honoured (re-read on every call, so tests can
+//! vary it at runtime).
+
+#![warn(missing_docs)]
+
+/// The traits needed for `.par_iter()` / `.into_par_iter()` method syntax.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// An eager "parallel iterator": the items are materialised up front and
+/// the closure runs across threads at `collect()` time.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A pending parallel `map`; executes when collected.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Conversion of an owning collection into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type produced by the iterator.
+    type Item: Send;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing conversion: `.par_iter()` yields `&T` items.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type produced by the iterator (a reference).
+    type Item: Send + 'data;
+    /// Iterate the borrowed elements in parallel.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        self.as_slice().par_iter()
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair every item with its input-order index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Apply `f` to every item (runs in parallel on `collect`).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collect the (unmapped) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Run the map across threads and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn run_ordered<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let threads = current_num_threads();
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<(usize, T)>> = Vec::new();
+    let mut indexed = items.into_iter().enumerate();
+    loop {
+        let chunk: Vec<(usize, T)> = indexed.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|(i, t)| (i, f(t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_enumerate_matches_sequential() {
+        let v = vec!["a", "b", "c", "d"];
+        let got: Vec<(usize, String)> = v
+            .clone()
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, format!("{i}:{s}")))
+            .collect();
+        let want: Vec<(usize, String)> = v
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i, format!("{i}:{s}")))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_threaded_env_override_still_correct() {
+        // NB: set_var is process-global; this test only ever *lowers*
+        // parallelism, which cannot perturb the order-preserving results
+        // asserted elsewhere.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let v: Vec<i64> = (0..100).collect();
+        let out: Vec<i64> = v.par_iter().map(|&x| x - 50).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (0..100).map(|x| x - 50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,509 @@
+//! Offline stand-in for `serde`.
+//!
+//! crates.io is unreachable in this build environment, so this vendored
+//! crate supplies the subset of serde the workspace uses through a much
+//! simpler data model: [`Serialize`] renders a type into a [`Value`]
+//! tree, [`Deserialize`] reads one back. The `serde_derive` stand-in
+//! generates impls for structs and enums, and the vendored `serde_json`
+//! converts [`Value`] to and from JSON text with the same surface syntax
+//! (externally tagged enums, objects for named-field structs, arrays for
+//! sequences and tuples) as the real crates.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialization tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `Int`, or any non-negative
+    /// integer deserialized from text.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered set of named fields (insertion order preserved so
+    /// output is deterministic).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Look up a field of an object by JSON key.
+pub fn find_field<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the serialization tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the serialization tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitives ------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(Error::custom(
+                        format!("expected integer, got {}", other.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n: u64 = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) => u64::try_from(*n)
+                        .map_err(|_| Error::custom("negative for unsigned"))?,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(Error::custom(
+                        format!("expected integer, got {}", other.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    other => Err(Error::custom(
+                        format!("expected number, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!(
+                "expected null, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---- references and smart pointers ----------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<[T]> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::deserialize_value(v).map(Into::into)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Rc::new)
+    }
+}
+
+// ---- sequences, options, maps, tuples --------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        // keys are rendered through their own serialization; string keys
+        // map to JSON keys, everything else to its display form
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = match k.serialize_value() {
+                    Value::String(s) => s,
+                    Value::Int(n) => n.to_string(),
+                    Value::UInt(n) => n.to_string(),
+                    other => panic!("unsupported map key kind {}", other.kind()),
+                };
+                (key, v.serialize_value())
+            })
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output
+        Value::Object(fields)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: Default + std::hash::BuildHasher,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| {
+                    // JSON keys are strings; integer-keyed maps (and
+                    // integer newtypes) round-trip through a numeric
+                    // re-interpretation of the key text
+                    let key = K::deserialize_value(&Value::String(k.clone()))
+                        .or_else(|e| match k.parse::<i64>() {
+                            Ok(n) => K::deserialize_value(&Value::Int(n)),
+                            Err(_) => Err(e),
+                        })
+                        .or_else(|e| match k.parse::<u64>() {
+                            Ok(n) => K::deserialize_value(&Value::UInt(n)),
+                            Err(_) => Err(e),
+                        })?;
+                    Ok((key, V::deserialize_value(v)?))
+                })
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+),)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array()
+                    .ok_or_else(|| Error::custom("expected array for tuple"))?;
+                let arity = [$($idx),+].len();
+                if items.len() != arity {
+                    return Err(Error::custom(format!(
+                        "expected {arity}-tuple, got {} elements", items.len())));
+                }
+                Ok(($($name::deserialize_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(
+            i64::deserialize_value(&42i64.serialize_value()).unwrap(),
+            42
+        );
+        assert_eq!(u64::deserialize_value(&7u64.serialize_value()).unwrap(), 7);
+        assert!(bool::deserialize_value(&true.serialize_value()).unwrap());
+        assert_eq!(
+            String::deserialize_value(&"hi".to_string().serialize_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<i64> = vec![1, 2, 3];
+        assert_eq!(
+            Vec::<i64>::deserialize_value(&v.serialize_value()).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn tuples_and_options() {
+        let t = (1u64, "x".to_string(), 2.5f64);
+        let back: (u64, String, f64) =
+            Deserialize::deserialize_value(&t.serialize_value()).unwrap();
+        assert_eq!(back, t);
+        let none: Option<u64> = None;
+        assert_eq!(none.serialize_value(), Value::Null);
+        assert_eq!(
+            Option::<u64>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn arc_slice_round_trips() {
+        let a: Arc<[i64]> = vec![5, 6].into();
+        let back: Arc<[i64]> = Deserialize::deserialize_value(&a.serialize_value()).unwrap();
+        assert_eq!(&*back, &[5, 6]);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(u64::deserialize_value(&Value::String("x".into())).is_err());
+        assert!(i8::deserialize_value(&Value::Int(1000)).is_err());
+        assert!(u64::deserialize_value(&Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,635 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable (no crates.io access), so this crate
+//! parses the derive input with a small hand-rolled cursor over
+//! `proc_macro::TokenTree`s and emits the generated impls as source
+//! text. Supported shapes — the full set used by this workspace:
+//!
+//! * structs with named fields (including raw identifiers like
+//!   `r#where`, and `#[serde(default)]` / `#[serde(default = "path")]`);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays) and unit structs;
+//! * enums with unit and tuple variants, externally tagged exactly like
+//!   real serde (`"Variant"` / `{"Variant": ...}`);
+//! * one-letter type generics (bounds `T: Serialize`/`Deserialize` are
+//!   added per parameter).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&item.body, mode) {
+        (Body::Named(fields), Mode::Serialize) => gen_named_ser(&item, fields),
+        (Body::Named(fields), Mode::Deserialize) => gen_named_de(&item, fields),
+        (Body::Tuple(arity), Mode::Serialize) => gen_tuple_ser(&item, *arity),
+        (Body::Tuple(arity), Mode::Deserialize) => gen_tuple_de(&item, *arity),
+        (Body::Unit, Mode::Serialize) => gen_unit_ser(&item),
+        (Body::Unit, Mode::Deserialize) => gen_unit_de(&item),
+        (Body::Enum(variants), Mode::Serialize) => gen_enum_ser(&item, variants),
+        (Body::Enum(variants), Mode::Deserialize) => gen_enum_de(&item, variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---- parsed representation -------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type parameter names, e.g. `["T"]`.
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    /// Rust accessor name, possibly raw (`r#where`).
+    ident: String,
+    /// JSON key (raw prefix stripped).
+    key: String,
+    default: FieldDefault,
+}
+
+enum FieldDefault {
+    Required,
+    /// `#[serde(default)]`
+    DefaultTrait,
+    /// `#[serde(default = "path")]`
+    DefaultFn(String),
+}
+
+struct Variant {
+    name: String,
+    /// `None` = unit variant; `Some(n)` = tuple variant of arity n.
+    arity: Option<usize>,
+}
+
+// ---- token cursor ----------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    /// Consume leading attributes, returning the content streams of any
+    /// `#[serde(...)]` among them.
+    fn skip_attrs(&mut self) -> Vec<TokenStream> {
+        let mut serde_attrs = Vec::new();
+        while self.at_punct('#') {
+            self.next(); // '#'
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = Cursor::new(g.stream());
+                if inner.at_ident("serde") {
+                    inner.next();
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        serde_attrs.push(args.stream());
+                    }
+                }
+            }
+        }
+        serde_attrs
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level `,`, tracking `<`/`>` depth.
+    /// Consumes the comma. Returns false at end of stream.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+// ---- item parsing ----------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+
+    let mut generics = Vec::new();
+    if c.at_punct('<') {
+        c.next();
+        let mut depth = 1i32;
+        let mut expect_param = true;
+        while depth > 0 {
+            match c.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => expect_param = true,
+                    '\'' => expect_param = false, // lifetime, skip its ident
+                    ':' => expect_param = false,  // bounds follow
+                    _ => {}
+                },
+                Some(TokenTree::Ident(i)) => {
+                    let s = i.to_string();
+                    if expect_param && s != "const" {
+                        generics.push(s);
+                        expect_param = false;
+                    }
+                }
+                Some(_) => {}
+                None => return Err("unbalanced generics".into()),
+            }
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            // find the body: named fields brace group, tuple paren group,
+            // or a bare `;` (unit). A where clause may precede the brace.
+            loop {
+                match c.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        return Ok(Item {
+                            name,
+                            generics,
+                            body: Body::Named(fields),
+                        });
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        return Ok(Item {
+                            name,
+                            generics,
+                            body: Body::Tuple(arity),
+                        });
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        return Ok(Item {
+                            name,
+                            generics,
+                            body: Body::Unit,
+                        });
+                    }
+                    Some(_) => {
+                        c.next(); // where-clause token
+                    }
+                    None => return Err(format!("no body found for struct `{name}`")),
+                }
+            }
+        }
+        "enum" => loop {
+            match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let variants = parse_variants(g.stream())?;
+                    return Ok(Item {
+                        name,
+                        generics,
+                        body: Body::Enum(variants),
+                    });
+                }
+                Some(_) => {
+                    c.next();
+                }
+                None => return Err(format!("no body found for enum `{name}`")),
+            }
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        let serde_attrs = c.skip_attrs();
+        c.skip_visibility();
+        let ident = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        c.skip_until_comma(); // the field type
+
+        let mut default = FieldDefault::Required;
+        for attr in serde_attrs {
+            let mut a = Cursor::new(attr);
+            while let Some(t) = a.next() {
+                if let TokenTree::Ident(i) = &t {
+                    if i.to_string() == "default" {
+                        if a.at_punct('=') {
+                            a.next();
+                            match a.next() {
+                                Some(TokenTree::Literal(l)) => {
+                                    let s = l.to_string();
+                                    default =
+                                        FieldDefault::DefaultFn(s.trim_matches('"').to_string());
+                                }
+                                other => {
+                                    return Err(format!(
+                                        "expected path literal after default =, got {other:?}"
+                                    ))
+                                }
+                            }
+                        } else {
+                            default = FieldDefault::DefaultTrait;
+                        }
+                    }
+                }
+            }
+        }
+
+        let key = ident.strip_prefix("r#").unwrap_or(&ident).to_string();
+        fields.push(Field {
+            ident,
+            key,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut arity = 1;
+    // commas at angle depth 0 separate fields (groups are opaque here)
+    let mut angle = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 && c.peek().is_some() => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let mut arity = None;
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = Some(count_tuple_fields(g.stream()));
+                c.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "struct-like variant `{name}` is not supported by the vendored serde_derive"
+                ));
+            }
+            _ => {}
+        }
+        // skip an optional discriminant and the trailing comma
+        if c.at_punct('=') {
+            c.skip_until_comma();
+        } else if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{plain}> ",
+            bounded.join(", "),
+            item.name
+        )
+    }
+}
+
+fn gen_named_ser(item: &Item, fields: &[Field]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((::std::string::String::from({key:?}), \
+                 ::serde::Serialize::serialize_value(&self.{ident})));",
+                key = f.key,
+                ident = f.ident
+            )
+        })
+        .collect();
+    format!(
+        "{header}{{ fn serialize_value(&self) -> ::serde::Value {{ \
+           let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+             ::std::vec::Vec::new(); \
+           {pushes} \
+           ::serde::Value::Object(fields) }} }}",
+        header = impl_header(item, "Serialize"),
+    )
+}
+
+fn gen_named_de(item: &Item, fields: &[Field]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let missing = match &f.default {
+                FieldDefault::Required => format!(
+                    "return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"missing field `{}` in `{}`\"))",
+                    f.key, item.name
+                ),
+                FieldDefault::DefaultTrait => "::std::default::Default::default()".to_string(),
+                FieldDefault::DefaultFn(path) => format!("{path}()"),
+            };
+            format!(
+                "{ident}: match ::serde::find_field(fields, {key:?}) {{ \
+                   ::std::option::Option::Some(x) => \
+                     ::serde::Deserialize::deserialize_value(x)?, \
+                   ::std::option::Option::None => {missing}, \
+                 }},",
+                ident = f.ident,
+                key = f.key
+            )
+        })
+        .collect();
+    format!(
+        "{header}{{ fn deserialize_value(v: &::serde::Value) \
+           -> ::std::result::Result<Self, ::serde::Error> {{ \
+           let fields = match v.as_object() {{ \
+             ::std::option::Option::Some(f) => f, \
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+               ::serde::Error::custom(\"expected object for `{name}`\")), \
+           }}; \
+           ::std::result::Result::Ok({name} {{ {inits} }}) }} }}",
+        header = impl_header(item, "Deserialize"),
+        name = item.name,
+    )
+}
+
+fn gen_tuple_ser(item: &Item, arity: usize) -> String {
+    let body = match arity {
+        0 => "::serde::Value::Array(::std::vec::Vec::new())".to_string(),
+        1 => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        n => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "{header}{{ fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(item, "Serialize"),
+    )
+}
+
+fn gen_tuple_de(item: &Item, arity: usize) -> String {
+    let name = &item.name;
+    let body = match arity {
+        0 => format!("::std::result::Result::Ok({name}())"),
+        1 => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        n => {
+            let elems: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = match v.as_array() {{ \
+                   ::std::option::Option::Some(a) => a, \
+                   ::std::option::Option::None => return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"expected array for `{name}`\")), \
+                 }}; \
+                 if items.len() != {n} {{ \
+                   return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"wrong tuple arity for `{name}`\")); \
+                 }} \
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+    };
+    format!(
+        "{header}{{ fn deserialize_value(v: &::serde::Value) \
+           -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        header = impl_header(item, "Deserialize"),
+    )
+}
+
+fn gen_unit_ser(item: &Item) -> String {
+    format!(
+        "{header}{{ fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }} }}",
+        header = impl_header(item, "Serialize"),
+    )
+}
+
+fn gen_unit_de(item: &Item) -> String {
+    format!(
+        "{header}{{ fn deserialize_value(_v: &::serde::Value) \
+           -> ::std::result::Result<Self, ::serde::Error> {{ \
+           ::std::result::Result::Ok({name}) }} }}",
+        header = impl_header(item, "Deserialize"),
+        name = item.name,
+    )
+}
+
+fn gen_enum_ser(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match v.arity {
+                None => format!(
+                    "{name}::{vn} => ::serde::Value::String(\
+                     ::std::string::String::from({vn:?})),"
+                ),
+                Some(1) => format!(
+                    "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\
+                     ::std::string::String::from({vn:?}), \
+                     ::serde::Serialize::serialize_value(f0))]),"
+                ),
+                Some(n) => {
+                    let binds: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                    let sers: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::serialize_value(f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\
+                         ::std::string::String::from({vn:?}), \
+                         ::serde::Value::Array(vec![{sers}]))]),",
+                        binds = binds.join(", "),
+                        sers = sers.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "{header}{{ fn serialize_value(&self) -> ::serde::Value {{ \
+           match self {{ {arms} }} }} }}",
+        header = impl_header(item, "Serialize"),
+    )
+}
+
+fn gen_enum_de(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| v.arity.is_none())
+        .map(|v| {
+            format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match v.arity? {
+                1 => Some(format!(
+                    "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::deserialize_value(inner)?)),"
+                )),
+                n => {
+                    let elems: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => {{ \
+                           let items = match inner.as_array() {{ \
+                             ::std::option::Option::Some(a) if a.len() == {n} => a, \
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                               \"bad payload for variant `{vn}` of `{name}`\")), \
+                           }}; \
+                           ::std::result::Result::Ok({name}::{vn}({elems})) }}",
+                        elems = elems.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "{header}{{ fn deserialize_value(v: &::serde::Value) \
+           -> ::std::result::Result<Self, ::serde::Error> {{ \
+           match v {{ \
+             ::serde::Value::String(s) => match s.as_str() {{ \
+               {unit_arms} \
+               other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))), \
+             }}, \
+             ::serde::Value::Object(fields) if fields.len() == 1 => {{ \
+               let (tag, inner) = &fields[0]; \
+               let _ = inner; \
+               match tag.as_str() {{ \
+                 {tagged_arms} \
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                   ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))), \
+               }} \
+             }}, \
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+               ::std::format!(\"expected enum `{name}`, got {{}}\", other.kind()))), \
+           }} }} }}",
+        header = impl_header(item, "Deserialize"),
+    )
+}

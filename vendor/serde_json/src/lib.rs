@@ -1,0 +1,455 @@
+//! Offline stand-in for `serde_json`: a JSON writer and recursive-descent
+//! parser over the vendored `serde::Value` tree.
+//!
+//! Output conventions match upstream where the workspace depends on them:
+//! object keys keep insertion order, `to_string_pretty` indents by two
+//! spaces and separates keys from values with `": "`.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::Read;
+
+/// Error raised by serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---- serialization ---------------------------------------------------
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Rust's Display for f64 is the shortest round-trippable
+                // decimal, so equal floats always print identically.
+                out.push_str(&x.to_string());
+            } else {
+                out.push_str("null"); // JSON has no NaN/Infinity
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- deserialization -------------------------------------------------
+
+/// Parse a value of type `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_str(s)?;
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Parse a value of type `T` from a reader.
+pub fn from_reader<T: Deserialize, R: Read>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader
+        .read_to_string(&mut buf)
+        .map_err(|e| Error::new(format!("read failed: {e}")))?;
+    from_str(&buf)
+}
+
+/// Parse a JSON string into the raw `serde::Value` tree.
+pub fn parse_value_str(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(fields)),
+                _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let hi = self.parse_hex4()?;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            // surrogate pair
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::new("unpaired surrogate"));
+                            }
+                            0x10000 + (((hi - 0xD800) << 10) | (lo - 0xDC00))
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(cp).ok_or_else(|| Error::new("invalid \\u escape"))?,
+                        );
+                    }
+                    _ => return Err(Error::new("invalid escape")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // re-decode the UTF-8 sequence starting at `c`
+                    let start = self.pos - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error::new("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(slice).map_err(|_| Error::new("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .bump()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| Error::new("bad hex digit in \\u escape"))?;
+            v = (v << 4) | d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact() {
+        let v = Value::Object(vec![
+            ("x".into(), Value::Int(7)),
+            ("name".into(), Value::String("a\"b\\c\nd".into())),
+            (
+                "list".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null, Value::Float(1.5)]),
+            ),
+        ]);
+        let s = to_string(&v).unwrap();
+        let back = parse_value_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_uses_colon_space_and_two_space_indent() {
+        let v = Value::Object(vec![("x".into(), Value::Int(7))]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"x\": 7\n}");
+    }
+
+    #[test]
+    fn parses_nested_and_escapes() {
+        let v: Value = parse_value_str(r#"{"a": [1, -2.5, "A😀"], "b": {"c": null}}"#).unwrap();
+        let fields = v.as_object().unwrap();
+        assert_eq!(fields[0].0, "a");
+        let arr = fields[0].1.as_array().unwrap();
+        assert_eq!(arr[0], Value::Int(1));
+        assert_eq!(arr[1], Value::Float(-2.5));
+        assert_eq!(arr[2], Value::String("A\u{1F600}".into()));
+    }
+
+    #[test]
+    fn typed_round_trip_through_traits() {
+        let xs: Vec<(u32, String)> = vec![(1, "one".into()), (2, "two".into())];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<(u32, String)> = from_str(&s).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_value_str("1 2").is_err());
+        assert!(from_str::<bool>("truex").is_err());
+    }
+}
