@@ -5,7 +5,8 @@
 //! while MR-MQE's incidental sharing never exceeds 4%.
 //!
 //! ```text
-//! cargo run --release -p stratmr-bench --bin fig6_sharing
+//! cargo run --release -p stratmr-bench --bin fig6_sharing -- \
+//!     --telemetry fig6_telemetry.json --trace fig6_trace.json
 //! ```
 
 use serde::Serialize;
@@ -26,10 +27,14 @@ struct Record {
 
 fn main() {
     let sink = telemetry::from_args();
+    let trace = telemetry::trace_from_args();
     let env = BenchEnv::from_env();
     let sample_size = env.config.scales[env.config.scales.len() / 2];
     let runs = env.config.runs;
-    let cluster = telemetry::attach(env.cluster(env.config.machines), sink.as_ref());
+    let cluster = telemetry::attach_trace(
+        telemetry::attach(env.cluster(env.config.machines), sink.as_ref()),
+        trace.as_ref(),
+    );
     println!(
         "Figure 6 — %% of individuals assigned to i surveys by MR-CPS \
          (population {}, sample {}, {} runs)\n",
@@ -98,5 +103,6 @@ fn main() {
     table.print();
     let path = report::write_record("fig6_sharing", &records).unwrap();
     println!("\nrecord: {}", path.display());
+    telemetry::finish_trace(trace);
     telemetry::finish(sink);
 }

@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin fig7_running_times -- \
-//!     --telemetry fig7_telemetry.json   # optional observability dump
+//!     --telemetry fig7_telemetry.json --trace fig7_trace.json
 //! ```
 
 use serde::Serialize;
@@ -38,6 +38,7 @@ struct Record {
 
 fn main() {
     let sink = telemetry::from_args();
+    let trace = telemetry::trace_from_args();
     let env = BenchEnv::from_env();
     let slaves_configs = [1usize, 5, 10];
     println!(
@@ -55,7 +56,10 @@ fn main() {
             let mssd = env.group(spec, scale, 4000);
             let mut cells = vec![format!("{}~{}", spec.name, scale)];
             for &slaves in &slaves_configs {
-                let cluster = telemetry::attach(env.cluster(slaves), sink.as_ref());
+                let cluster = telemetry::attach_trace(
+                    telemetry::attach(env.cluster(slaves), sink.as_ref()),
+                    trace.as_ref(),
+                );
                 let mqe = mr_mqe_on_splits(&cluster, &env.splits, mssd.queries(), None, 42);
                 let mqe_min = mqe.stats.sim.makespan_us / 60e6;
                 let cps = mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::mr_cps(), 42)
@@ -120,5 +124,6 @@ fn main() {
     );
     let path = report::write_record("fig7_running_times", &records).unwrap();
     println!("record: {}", path.display());
+    telemetry::finish_trace(trace);
     telemetry::finish(sink);
 }

@@ -6,7 +6,8 @@
 //! only on the query-group size and `|[[Q]]*|`).
 //!
 //! ```text
-//! cargo run --release -p stratmr-bench --bin fig8_lp_times
+//! cargo run --release -p stratmr-bench --bin fig8_lp_times -- \
+//!     --telemetry fig8_telemetry.json --trace fig8_trace.json
 //! ```
 
 use serde::Serialize;
@@ -29,9 +30,13 @@ struct Record {
 
 fn main() {
     let sink = telemetry::from_args();
+    let trace = telemetry::trace_from_args();
     let env = BenchEnv::from_env();
     let runs = env.config.runs.clamp(1, 10);
-    let cluster = telemetry::attach(env.cluster(env.config.machines), sink.as_ref());
+    let cluster = telemetry::attach_trace(
+        telemetry::attach(env.cluster(env.config.machines), sink.as_ref()),
+        trace.as_ref(),
+    );
     println!(
         "Figure 8 — LP formulation + solving time in MR-CPS \
          (population {}, {} runs per point)\n",
@@ -110,5 +115,6 @@ fn main() {
     );
     let path = report::write_record("fig8_lp_times", &records).unwrap();
     println!("record: {}", path.display());
+    telemetry::finish_trace(trace);
     telemetry::finish(sink);
 }

@@ -13,7 +13,8 @@
 //! * the realized relative gap `(C_A − C_IP) / C_A`.
 //!
 //! ```text
-//! cargo run --release -p stratmr-bench --bin optimality
+//! cargo run --release -p stratmr-bench --bin optimality -- \
+//!     --telemetry optimality_telemetry.json --trace optimality_trace.json
 //! ```
 
 use serde::Serialize;
@@ -37,10 +38,14 @@ struct Record {
 
 fn main() {
     let sink = telemetry::from_args();
+    let trace = telemetry::trace_from_args();
     let env = BenchEnv::from_env();
     let runs = env.config.runs.clamp(1, 10);
     let sample_size = env.config.scales[env.config.scales.len() / 2];
-    let cluster = telemetry::attach(env.cluster(env.config.machines), sink.as_ref());
+    let cluster = telemetry::attach_trace(
+        telemetry::attach(env.cluster(env.config.machines), sink.as_ref()),
+        trace.as_ref(),
+    );
     println!(
         "§6.2.2 — optimality of MR-CPS (population {}, sample {}, {} runs)\n",
         env.config.population, sample_size, runs
@@ -118,5 +123,6 @@ fn main() {
     );
     let path = report::write_record("optimality", &records).unwrap();
     println!("record: {}", path.display());
+    telemetry::finish_trace(trace);
     telemetry::finish(sink);
 }

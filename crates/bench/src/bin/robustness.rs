@@ -9,7 +9,8 @@
 //! deterministic tasks); only time changes.
 //!
 //! ```text
-//! cargo run --release -p stratmr-bench --bin robustness
+//! cargo run --release -p stratmr-bench --bin robustness -- \
+//!     --telemetry robustness_telemetry.json --trace robustness_trace.json
 //! ```
 
 use serde::Serialize;
@@ -30,6 +31,7 @@ struct Record {
 
 fn main() {
     let sink = telemetry::from_args();
+    let trace = telemetry::trace_from_args();
     let env = BenchEnv::from_env();
     let scale = env.config.scales[env.config.scales.len() / 2];
     let mssd = env.group(&GroupSpec::MEDIUM, scale, 4100);
@@ -51,19 +53,28 @@ fn main() {
         let conditions: Vec<(&str, Cluster)> = vec![
             (
                 "healthy",
-                telemetry::attach(Cluster::new(slaves), sink.as_ref()),
+                telemetry::attach_trace(
+                    telemetry::attach(Cluster::new(slaves), sink.as_ref()),
+                    trace.as_ref(),
+                ),
             ),
             ("one straggler (3× slow)", {
                 let mut speeds = vec![1.0; slaves];
                 speeds[slaves - 1] = 3.0;
-                telemetry::attach(
-                    Cluster::new(slaves).with_machine_slowness(speeds),
-                    sink.as_ref(),
+                telemetry::attach_trace(
+                    telemetry::attach(
+                        Cluster::new(slaves).with_machine_slowness(speeds),
+                        sink.as_ref(),
+                    ),
+                    trace.as_ref(),
                 )
             }),
             (
                 "10% task failures",
-                telemetry::attach(Cluster::new(slaves).with_failures(0.10), sink.as_ref()),
+                telemetry::attach_trace(
+                    telemetry::attach(Cluster::new(slaves).with_failures(0.10), sink.as_ref()),
+                    trace.as_ref(),
+                ),
             ),
         ];
         let healthy_answer =
@@ -101,5 +112,6 @@ fn main() {
     );
     let path = report::write_record("robustness", &records).unwrap();
     println!("record: {}", path.display());
+    telemetry::finish_trace(trace);
     telemetry::finish(sink);
 }

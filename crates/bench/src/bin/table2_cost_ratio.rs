@@ -5,7 +5,8 @@
 //! size because larger groups offer more sharing opportunities.
 //!
 //! ```text
-//! cargo run --release -p stratmr-bench --bin table2_cost_ratio [-- --uniform]
+//! cargo run --release -p stratmr-bench --bin table2_cost_ratio -- \
+//!     [--uniform] [--telemetry t2_telemetry.json] [--trace t2_trace.json]
 //! ```
 //! `--uniform` reruns on the §6.2.1 uniform synthetic dataset.
 
@@ -30,6 +31,7 @@ struct Record {
 
 fn main() {
     let sink = telemetry::from_args();
+    let trace = telemetry::trace_from_args();
     let uniform = std::env::args().any(|a| a == "--uniform");
     let mut config = BenchConfig::from_env();
     config.uniform = uniform;
@@ -44,7 +46,10 @@ fn main() {
         env.config.population, sample_size, runs
     );
 
-    let cluster = telemetry::attach(env.cluster(env.config.machines), sink.as_ref());
+    let cluster = telemetry::attach_trace(
+        telemetry::attach(env.cluster(env.config.machines), sink.as_ref()),
+        trace.as_ref(),
+    );
     let paper = [62.0, 51.0, 47.0];
     let mut table = Table::new(&["group", "avg cost MQE", "avg cost CPS", "CPS/MQE", "paper"]);
     let mut records = Vec::new();
@@ -86,5 +91,6 @@ fn main() {
     table.print();
     let path = report::write_record(&format!("table2_{dataset}"), &records).unwrap();
     println!("\nrecord: {}", path.display());
+    telemetry::finish_trace(trace);
     telemetry::finish(sink);
 }

@@ -23,7 +23,10 @@
 //! [`stratmr_telemetry::Registry`] is threaded through the simulated
 //! clusters (and from there into the sampling jobs and LP/IP solvers)
 //! and its final snapshot — counters, histograms and phase spans — is
-//! written to the given path as JSON.
+//! written to the given path as JSON. `--trace <out.json>` additionally
+//! collects a per-task trace of every MapReduce job and writes it in
+//! Chrome trace-event JSON (loadable in Perfetto), printing a per-job
+//! critical-path/skew summary on exit; see [`telemetry::trace_from_args`].
 
 #![warn(missing_docs)]
 
@@ -33,4 +36,4 @@ pub mod telemetry;
 
 pub use env::{BenchConfig, BenchEnv};
 pub use report::{fmt_duration_s, Table};
-pub use telemetry::TelemetrySink;
+pub use telemetry::{TelemetrySink, TraceFile};

@@ -1,8 +1,10 @@
-//! Plain-text table rendering and JSON experiment records.
+//! Plain-text table rendering, JSON experiment records and per-job
+//! trace summaries.
 
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use stratmr_mapreduce::{analysis, JobTrace};
 
 /// A simple fixed-width text table.
 #[derive(Debug, Clone, Default)]
@@ -87,9 +89,59 @@ pub fn write_record<T: Serialize>(name: &str, record: &T) -> std::io::Result<Pat
     Ok(path)
 }
 
+/// Render one human-readable line per traced job — its critical path
+/// (which machine/partition bounded each phase), shuffle skew and any
+/// stragglers — followed by a series total. Returns an empty string
+/// when no job was traced.
+pub fn render_trace_summary(jobs: &[JobTrace]) -> String {
+    if jobs.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("trace summary (critical path per job):\n");
+    for job in jobs {
+        let _ = writeln!(out, "  {}", analysis::summarize(job));
+    }
+    let total: f64 = jobs.iter().map(|j| j.makespan_us).sum();
+    let _ = writeln!(
+        out,
+        "  total: {} jobs, {:.3}s simulated end to end",
+        jobs.len(),
+        total / 1e6
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_summary_lists_each_job_and_total() {
+        use stratmr_mapreduce::{make_splits, Cluster, Emitter, Job, TaskCtx, TraceSink};
+        struct Count;
+        impl Job for Count {
+            type Input = u64;
+            type Key = u8;
+            type MapOut = u64;
+            type ReduceOut = u64;
+            fn map(&self, _c: &TaskCtx, r: &u64, out: &mut Emitter<u8, u64>) {
+                out.emit((*r % 3) as u8, 1);
+            }
+            fn reduce(&self, _c: &TaskCtx, _k: &u8, v: Vec<u64>) -> u64 {
+                v.into_iter().sum()
+            }
+        }
+        let sink = TraceSink::new();
+        let cluster = Cluster::new(2).with_trace(sink.clone());
+        let splits = make_splits((0..100).collect(), 4, 2);
+        cluster.named("a").run(&Count, &splits, 1);
+        cluster.named("b").run(&Count, &splits, 2);
+        let text = render_trace_summary(&sink.jobs());
+        assert!(text.contains("a#0:"), "{text}");
+        assert!(text.contains("b#1:"), "{text}");
+        assert!(text.contains("total: 2 jobs"), "{text}");
+        assert_eq!(render_trace_summary(&[]), "");
+    }
 
     #[test]
     fn table_renders_aligned() {

@@ -1,18 +1,28 @@
-//! The `--telemetry <out.json>` flag shared by the bench binaries.
+//! The `--telemetry <out.json>` and `--trace <out.json>` flags shared
+//! by the bench binaries.
 //!
-//! When present, a [`Registry`] is threaded through every simulated
-//! cluster (and, via the cluster, into the sampling jobs and LP/IP
-//! solvers), and the final snapshot is written to the given path as
-//! JSON on exit:
+//! With `--telemetry`, a [`Registry`] is threaded through every
+//! simulated cluster (and, via the cluster, into the sampling jobs and
+//! LP/IP solvers), and the final snapshot is written to the given path
+//! as JSON on exit. With `--trace`, a [`TraceSink`] collects one
+//! [`stratmr_telemetry::JobTrace`] per MapReduce job and the full
+//! series is written in Chrome trace-event JSON (Perfetto-loadable),
+//! with a per-job critical-path/skew summary printed to stdout:
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin fig7_running_times -- \
-//!     --telemetry fig7_telemetry.json
+//!     --telemetry fig7_telemetry.json --trace fig7_trace.json
 //! ```
+//!
+//! Tracing pins the cost model's `cpu_slowdown` to zero on every traced
+//! cluster — the measured-CPU term is the only host-dependent input to
+//! simulated times, so with it removed a fixed-seed trace is
+//! byte-identical across runs (simulated times then respond only to
+//! record/byte counts, not to the algorithms' measured CPU).
 
 use std::path::PathBuf;
-use stratmr_mapreduce::Cluster;
-use stratmr_telemetry::Registry;
+use stratmr_mapreduce::{Cluster, CostConfig};
+use stratmr_telemetry::{Registry, TraceSink};
 
 /// A telemetry sink requested on the command line.
 pub struct TelemetrySink {
@@ -72,6 +82,73 @@ pub fn finish(sink: Option<TelemetrySink>) {
             Ok(path) => println!("telemetry: {}", path.display()),
             Err(e) => {
                 eprintln!("error: cannot write telemetry to {}: {e}", s.path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// A per-task trace sink requested on the command line via
+/// `--trace <out.json>`.
+pub struct TraceFile {
+    /// The shared sink every traced cluster appends to.
+    pub sink: TraceSink,
+    path: PathBuf,
+}
+
+/// Parse `--trace <path>` (or `--trace=<path>`) from the process
+/// arguments. Returns `None` when the flag is absent; exits with a
+/// usage error when the path operand is missing.
+pub fn trace_from_args() -> Option<TraceFile> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("usage: --trace <out.json>");
+                std::process::exit(2);
+            });
+            return Some(TraceFile {
+                sink: TraceSink::new(),
+                path: path.into(),
+            });
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(TraceFile {
+                sink: TraceSink::new(),
+                path: p.into(),
+            });
+        }
+    }
+    None
+}
+
+/// Attach the trace sink to a cluster (no-op without a sink). Tracing
+/// pins `cpu_slowdown` to zero so fixed-seed traces are byte-identical
+/// across runs (see module docs).
+pub fn attach_trace(cluster: Cluster, trace: Option<&TraceFile>) -> Cluster {
+    match trace {
+        Some(t) => {
+            let costs = CostConfig {
+                cpu_slowdown: 0.0,
+                ..*cluster.costs()
+            };
+            cluster.with_costs(costs).with_trace(t.sink.clone())
+        }
+        None => cluster,
+    }
+}
+
+/// Write the Chrome-trace JSON (if a sink is active), print the per-job
+/// critical-path/skew summary, and report the path. Exits with status 1
+/// on an unwritable path, like [`finish`].
+pub fn finish_trace(trace: Option<TraceFile>) {
+    if let Some(t) = trace {
+        let jobs = t.sink.jobs();
+        print!("{}", crate::report::render_trace_summary(&jobs));
+        match std::fs::write(&t.path, t.sink.chrome_trace_json()) {
+            Ok(()) => println!("trace: {} ({} jobs)", t.path.display(), jobs.len()),
+            Err(e) => {
+                eprintln!("error: cannot write trace to {}: {e}", t.path.display());
                 std::process::exit(1);
             }
         }

@@ -1,0 +1,528 @@
+//! Post-hoc analysis of per-task traces: critical-path attribution,
+//! machine utilization, shuffle skew, straggler detection and a text
+//! Gantt renderer.
+//!
+//! All functions consume the [`JobTrace`]s collected by
+//! [`Cluster::with_trace`](crate::Cluster::with_trace). Because the
+//! trace *is* the schedule, the critical path is reconstructed purely
+//! from event durations: under the barrier model the job's makespan is
+//!
+//! ```text
+//! overhead + busy(map-bound machine) + longest shuffle transfer
+//!          + busy(reduce-bound machine)
+//! ```
+//!
+//! and [`critical_path`] returns exactly that chain of tasks —
+//! cross-checked against `JobStats::sim.makespan_us` by
+//! `tests/analysis.rs` to ~1e-9 relative error (the trace scales each
+//! task component individually, so it differs from the aggregate
+//! accounting only at floating-point rounding level).
+
+use stratmr_telemetry::{JobTrace, TraceEvent, TracePhase};
+
+/// The chain of tasks bounding a job's makespan.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Job setup overhead, µs (the path's first edge).
+    pub overhead_us: f64,
+    /// Machine whose map work (incl. combines and retries) finished
+    /// last.
+    pub map_machine: u64,
+    /// Busy time of that machine in the map phase, µs.
+    pub map_us: f64,
+    /// Partition of the longest shuffle transfer (`None` when the job
+    /// shuffled nothing).
+    pub shuffle_partition: Option<u64>,
+    /// Duration of that transfer, µs.
+    pub shuffle_us: f64,
+    /// Machine whose reduce work finished last.
+    pub reduce_machine: u64,
+    /// Busy time of that machine in the reduce phase, µs.
+    pub reduce_us: f64,
+    /// The events along the path, in schedule order: every map/combine
+    /// task (and failed attempt) on `map_machine`, the bounding shuffle
+    /// transfer, every reduce task on `reduce_machine`.
+    pub tasks: Vec<TraceEvent>,
+    /// Sum of the path: `overhead + map + shuffle + reduce`, µs.
+    /// Equals the job's simulated makespan.
+    pub total_us: f64,
+}
+
+/// Per-machine busy time, split by phase.
+///
+/// `map` covers map + combine events (they run inside map tasks);
+/// `reduce` covers reduce events; both include failed attempts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineUtilization {
+    /// Machine id.
+    pub machine: u64,
+    /// Busy µs in the map phase.
+    pub map_busy_us: f64,
+    /// Map/combine events executed (incl. failed attempts).
+    pub map_tasks: u64,
+    /// Idle µs before the map barrier (slowest machine has ~0).
+    pub map_idle_us: f64,
+    /// Busy µs in the reduce phase.
+    pub reduce_busy_us: f64,
+    /// Reduce events executed (incl. failed attempts).
+    pub reduce_tasks: u64,
+    /// Idle µs before the reduce barrier.
+    pub reduce_idle_us: f64,
+    /// Busy fraction of the two compute-phase windows combined
+    /// (1.0 when both windows are empty).
+    pub busy_frac: f64,
+}
+
+/// Shuffle-partition byte skew of one job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkewReport {
+    /// Number of reduce partitions.
+    pub partitions: u64,
+    /// Total bytes shuffled.
+    pub total_bytes: u64,
+    /// Bytes of the largest partition.
+    pub max_bytes: u64,
+    /// Mean bytes per partition.
+    pub mean_bytes: f64,
+    /// Partition holding `max_bytes` (`None` when nothing shuffled).
+    pub max_partition: Option<u64>,
+    /// `max / mean` (1.0 for a perfectly balanced or empty shuffle).
+    pub skew: f64,
+}
+
+/// A machine whose phase busy time exceeds its peers'.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Straggler {
+    /// The slow machine.
+    pub machine: u64,
+    /// Phase in which it straggles ([`TracePhase::Map`] or
+    /// [`TracePhase::Reduce`]).
+    pub phase: TracePhase,
+    /// Its busy time in that phase, µs.
+    pub busy_us: f64,
+    /// Mean busy time of the *other* machines in that phase, µs.
+    pub peer_mean_us: f64,
+    /// `busy / peer_mean`.
+    pub slowdown: f64,
+}
+
+fn phase_busy(trace: &JobTrace, machines: usize, phases: &[TracePhase]) -> Vec<f64> {
+    let mut busy = vec![0.0f64; machines];
+    for e in &trace.events {
+        if phases.contains(&e.phase) {
+            busy[(e.machine as usize) % machines.max(1)] += e.dur_us;
+        }
+    }
+    busy
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Extract the task chain bounding the makespan (see module docs).
+///
+/// Ties (two machines with identical busy time) resolve to the lowest
+/// machine id, so the result is deterministic.
+pub fn critical_path(trace: &JobTrace) -> CriticalPath {
+    let machines = trace.machines.max(1) as usize;
+    let map_busy = phase_busy(trace, machines, &[TracePhase::Map, TracePhase::Combine]);
+    let reduce_busy = phase_busy(trace, machines, &[TracePhase::Reduce]);
+    let map_machine = argmax(&map_busy);
+    let reduce_machine = argmax(&reduce_busy);
+    let bounding_shuffle = trace
+        .phase_events(TracePhase::Shuffle)
+        .max_by(|a, b| {
+            a.dur_us
+                .partial_cmp(&b.dur_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // ties → lowest partition id, matching the cluster's
+                // fold(f64::max) which keeps the first maximum
+                .then(b.task.cmp(&a.task))
+        })
+        .cloned();
+    let shuffle_us = bounding_shuffle.as_ref().map(|e| e.dur_us).unwrap_or(0.0);
+
+    let mut tasks: Vec<TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| match e.phase {
+            TracePhase::Map | TracePhase::Combine => e.machine as usize == map_machine,
+            TracePhase::Shuffle => false,
+            TracePhase::Reduce => e.machine as usize == reduce_machine,
+        })
+        .cloned()
+        .collect();
+    tasks.extend(bounding_shuffle.as_ref().cloned());
+    tasks.sort_by(|a, b| {
+        a.start_us
+            .partial_cmp(&b.start_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                (a.phase, a.machine, a.task, a.attempt)
+                    .cmp(&(b.phase, b.machine, b.task, b.attempt))
+            })
+    });
+
+    CriticalPath {
+        overhead_us: trace.overhead_us,
+        map_machine: map_machine as u64,
+        map_us: map_busy[map_machine],
+        shuffle_partition: bounding_shuffle.and_then(|e| e.partition),
+        shuffle_us,
+        reduce_machine: reduce_machine as u64,
+        reduce_us: reduce_busy[reduce_machine],
+        tasks,
+        total_us: trace.overhead_us
+            + map_busy[map_machine]
+            + shuffle_us
+            + reduce_busy[reduce_machine],
+    }
+}
+
+/// Per-machine busy/idle breakdown. Idle time is measured against each
+/// phase's barrier: the machine that bounds a phase has zero idle in it.
+pub fn machine_utilization(trace: &JobTrace) -> Vec<MachineUtilization> {
+    let machines = trace.machines.max(1) as usize;
+    let map_busy = phase_busy(trace, machines, &[TracePhase::Map, TracePhase::Combine]);
+    let reduce_busy = phase_busy(trace, machines, &[TracePhase::Reduce]);
+    let map_window = map_busy.iter().copied().fold(0.0f64, f64::max);
+    let reduce_window = reduce_busy.iter().copied().fold(0.0f64, f64::max);
+    let mut counts = vec![(0u64, 0u64); machines];
+    for e in &trace.events {
+        let m = (e.machine as usize) % machines;
+        match e.phase {
+            TracePhase::Map | TracePhase::Combine => counts[m].0 += 1,
+            TracePhase::Reduce => counts[m].1 += 1,
+            TracePhase::Shuffle => {}
+        }
+    }
+    (0..machines)
+        .map(|m| {
+            let window = map_window + reduce_window;
+            let busy = map_busy[m] + reduce_busy[m];
+            MachineUtilization {
+                machine: m as u64,
+                map_busy_us: map_busy[m],
+                map_tasks: counts[m].0,
+                map_idle_us: map_window - map_busy[m],
+                reduce_busy_us: reduce_busy[m],
+                reduce_tasks: counts[m].1,
+                reduce_idle_us: reduce_window - reduce_busy[m],
+                busy_frac: if window > 0.0 { busy / window } else { 1.0 },
+            }
+        })
+        .collect()
+}
+
+/// Byte skew across the job's shuffle partitions.
+pub fn shuffle_skew(trace: &JobTrace) -> SkewReport {
+    let mut partitions = 0u64;
+    let mut total = 0u64;
+    let mut max = 0u64;
+    let mut max_partition = None;
+    for e in trace.phase_events(TracePhase::Shuffle) {
+        partitions += 1;
+        total += e.bytes;
+        if e.bytes > max {
+            max = e.bytes;
+            max_partition = e.partition.or(Some(e.task));
+        }
+    }
+    let mean = if partitions > 0 {
+        total as f64 / partitions as f64
+    } else {
+        0.0
+    };
+    SkewReport {
+        partitions,
+        total_bytes: total,
+        max_bytes: max,
+        mean_bytes: mean,
+        max_partition,
+        skew: if mean > 0.0 { max as f64 / mean } else { 1.0 },
+    }
+}
+
+/// Machines whose map or reduce busy time exceeds `threshold` × the
+/// mean busy time of their peers (the other machines). Returns an empty
+/// list on single-machine clusters — there is no peer to compare with.
+pub fn stragglers(trace: &JobTrace, threshold: f64) -> Vec<Straggler> {
+    let machines = trace.machines.max(1) as usize;
+    if machines < 2 {
+        return Vec::new();
+    }
+    let mut found = Vec::new();
+    for (phase, phases) in [
+        (TracePhase::Map, &[TracePhase::Map, TracePhase::Combine][..]),
+        (TracePhase::Reduce, &[TracePhase::Reduce][..]),
+    ] {
+        let busy = phase_busy(trace, machines, phases);
+        let total: f64 = busy.iter().sum();
+        for (m, &b) in busy.iter().enumerate() {
+            let peer_mean = (total - b) / (machines - 1) as f64;
+            if peer_mean > 0.0 && b > threshold * peer_mean {
+                found.push(Straggler {
+                    machine: m as u64,
+                    phase,
+                    busy_us: b,
+                    peer_mean_us: peer_mean,
+                    slowdown: b / peer_mean,
+                });
+            }
+        }
+    }
+    found
+}
+
+/// Render the job as an ASCII Gantt chart, one row per machine over
+/// `width` columns spanning `[0, makespan_us]`.
+///
+/// Cell legend: `=` job setup, `M` map, `C` combine, `S` shuffle
+/// transfer (into the row's machine), `R` reduce, `x` failed attempt,
+/// `.` idle.
+pub fn render_gantt(trace: &JobTrace, width: usize) -> String {
+    use std::fmt::Write as _;
+    let width = width.max(1);
+    let machines = trace.machines.max(1) as usize;
+    let span = trace.makespan_us.max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} #{} — makespan {:.3}s, {} machines, 1 col ≈ {:.3}s",
+        trace.name,
+        trace.seq,
+        trace.makespan_us / 1e6,
+        machines,
+        span / width as f64 / 1e6,
+    );
+    for m in 0..machines {
+        let mut row = vec!['.'; width];
+        for (col, cell) in row.iter_mut().enumerate() {
+            let t = (col as f64 + 0.5) / width as f64 * span;
+            if t < trace.overhead_us {
+                *cell = '=';
+                continue;
+            }
+            // priority: later phases win when events touch at a barrier
+            let mut best: Option<(u8, char)> = None;
+            for e in &trace.events {
+                if e.machine as usize != m || e.dur_us <= 0.0 {
+                    continue;
+                }
+                if t < e.start_us || t >= e.start_us + e.dur_us {
+                    continue;
+                }
+                let (rank, ch) = if e.failed {
+                    (4, 'x')
+                } else {
+                    match e.phase {
+                        TracePhase::Map => (0, 'M'),
+                        TracePhase::Combine => (1, 'C'),
+                        TracePhase::Shuffle => (2, 'S'),
+                        TracePhase::Reduce => (3, 'R'),
+                    }
+                };
+                if best.map(|(r, _)| rank > r).unwrap_or(true) {
+                    best = Some((rank, ch));
+                }
+            }
+            if let Some((_, ch)) = best {
+                *cell = ch;
+            }
+        }
+        let _ = writeln!(out, "  m{m:<3} |{}|", row.into_iter().collect::<String>());
+    }
+    out.push_str("  legend: = setup  M map  C combine  S shuffle  R reduce  x failed  . idle\n");
+    out
+}
+
+/// One-line human-readable summary of a job: makespan, critical path,
+/// skew and any stragglers (≥ 1.5× their peers). Used by the bench
+/// report.
+pub fn summarize(trace: &JobTrace) -> String {
+    use std::fmt::Write as _;
+    let cp = critical_path(trace);
+    let skew = shuffle_skew(trace);
+    let mut line = format!(
+        "{}#{}: makespan {:.3}s = setup {:.3}s + m{} map {:.3}s + shuffle {:.3}s + m{} reduce {:.3}s",
+        trace.name,
+        trace.seq,
+        trace.makespan_us / 1e6,
+        cp.overhead_us / 1e6,
+        cp.map_machine,
+        cp.map_us / 1e6,
+        cp.shuffle_us / 1e6,
+        cp.reduce_machine,
+        cp.reduce_us / 1e6,
+    );
+    if let Some(p) = cp.shuffle_partition {
+        let _ = write!(
+            line,
+            "; shuffle bound by partition {p} ({} B), skew {:.2}x",
+            skew.max_bytes, skew.skew
+        );
+    }
+    let slow = stragglers(trace, 1.5);
+    if !slow.is_empty() {
+        line.push_str("; stragglers:");
+        for s in slow {
+            let _ = write!(
+                line,
+                " m{} {} {:.2}x",
+                s.machine,
+                s.phase.as_str(),
+                s.slowdown
+            );
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        phase: TracePhase,
+        machine: u64,
+        task: u64,
+        start: f64,
+        dur: f64,
+        bytes: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            phase,
+            task,
+            machine,
+            partition: matches!(phase, TracePhase::Shuffle | TracePhase::Reduce).then_some(task),
+            attempt: 0,
+            failed: false,
+            start_us: start,
+            dur_us: dur,
+            records: 1,
+            bytes,
+        }
+    }
+
+    /// 2 machines: m0 maps 10µs, m1 maps 30µs (bounds); partition 0
+    /// transfers 5µs (bounds), partition 1 transfers 2µs; m0 reduces
+    /// 8µs (bounds), m1 reduces 1µs. Setup 4µs → makespan 47µs.
+    fn toy_trace() -> JobTrace {
+        JobTrace {
+            name: "toy".into(),
+            seq: 0,
+            start_us: 0.0,
+            overhead_us: 4.0,
+            makespan_us: 47.0,
+            machines: 2,
+            events: vec![
+                ev(TracePhase::Map, 0, 0, 4.0, 10.0, 100),
+                ev(TracePhase::Map, 1, 1, 4.0, 30.0, 100),
+                ev(TracePhase::Shuffle, 0, 0, 34.0, 5.0, 100),
+                ev(TracePhase::Shuffle, 1, 1, 34.0, 2.0, 40),
+                ev(TracePhase::Reduce, 0, 0, 39.0, 8.0, 100),
+                ev(TracePhase::Reduce, 1, 1, 39.0, 1.0, 40),
+            ],
+        }
+    }
+
+    #[test]
+    fn critical_path_picks_bounding_chain() {
+        let cp = critical_path(&toy_trace());
+        assert_eq!(cp.map_machine, 1);
+        assert_eq!(cp.shuffle_partition, Some(0));
+        assert_eq!(cp.reduce_machine, 0);
+        assert!((cp.total_us - 47.0).abs() < 1e-12);
+        // path events in schedule order: map on m1, shuffle p0, reduce m0
+        let phases: Vec<TracePhase> = cp.tasks.iter().map(|e| e.phase).collect();
+        assert_eq!(
+            phases,
+            vec![TracePhase::Map, TracePhase::Shuffle, TracePhase::Reduce]
+        );
+    }
+
+    #[test]
+    fn utilization_measures_idle_against_barriers() {
+        let util = machine_utilization(&toy_trace());
+        assert_eq!(util.len(), 2);
+        assert_eq!(util[1].map_idle_us, 0.0, "bounding machine has no idle");
+        assert!((util[0].map_idle_us - 20.0).abs() < 1e-12);
+        assert_eq!(util[0].reduce_idle_us, 0.0);
+        assert!((util[1].reduce_idle_us - 7.0).abs() < 1e-12);
+        assert!(util[1].busy_frac > util[0].busy_frac);
+        assert!(util.iter().all(|u| u.busy_frac <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn skew_reports_max_over_mean() {
+        let skew = shuffle_skew(&toy_trace());
+        assert_eq!(skew.partitions, 2);
+        assert_eq!(skew.total_bytes, 140);
+        assert_eq!(skew.max_bytes, 100);
+        assert_eq!(skew.max_partition, Some(0));
+        assert!((skew.skew - 100.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let trace = JobTrace {
+            name: "empty".into(),
+            seq: 0,
+            start_us: 0.0,
+            overhead_us: 0.0,
+            makespan_us: 0.0,
+            machines: 1,
+            events: vec![],
+        };
+        let cp = critical_path(&trace);
+        assert_eq!(cp.total_us, 0.0);
+        assert!(cp.tasks.is_empty());
+        assert_eq!(cp.shuffle_partition, None);
+        let skew = shuffle_skew(&trace);
+        assert_eq!(skew.skew, 1.0);
+        assert!(stragglers(&trace, 1.5).is_empty());
+        assert_eq!(machine_utilization(&trace)[0].busy_frac, 1.0);
+        assert!(render_gantt(&trace, 10).contains("m0"));
+    }
+
+    #[test]
+    fn straggler_flagged_against_peer_mean() {
+        let slow = stragglers(&toy_trace(), 1.5);
+        // m1's map busy (30) vs peer mean (10) → 3×; m0's reduce (8)
+        // vs peer mean (1) → 8×
+        assert_eq!(slow.len(), 2);
+        assert!(slow.iter().any(|s| s.machine == 1
+            && s.phase == TracePhase::Map
+            && (s.slowdown - 3.0).abs() < 1e-12));
+        assert!(slow
+            .iter()
+            .any(|s| s.machine == 0 && s.phase == TracePhase::Reduce));
+    }
+
+    #[test]
+    fn gantt_rows_show_phases() {
+        let g = render_gantt(&toy_trace(), 47);
+        assert!(g.contains("m0"), "{g}");
+        assert!(g.contains("m1"), "{g}");
+        for ch in ['=', 'M', 'S', 'R'] {
+            assert!(g.contains(ch), "missing {ch} in:\n{g}");
+        }
+    }
+
+    #[test]
+    fn summary_names_the_bottlenecks() {
+        let s = summarize(&toy_trace());
+        assert!(s.contains("toy#0"), "{s}");
+        assert!(s.contains("m1 map"), "{s}");
+        assert!(s.contains("m0 reduce"), "{s}");
+        assert!(s.contains("partition 0"), "{s}");
+        assert!(s.contains("stragglers"), "{s}");
+    }
+}

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
-use stratmr_telemetry::{Counter, Registry};
+use stratmr_telemetry::{Counter, Registry, TraceEvent, TracePhase, TraceSink};
 
 /// Record/byte counters and timings of one executed job.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -79,6 +79,10 @@ pub struct Cluster {
     failure_prob: f64,
     /// Optional metrics sink; clones of the cluster share it.
     telemetry: Option<Registry>,
+    /// Optional per-task trace sink; clones of the cluster share it.
+    trace: Option<TraceSink>,
+    /// Name recorded on traced jobs (e.g. `sqe`, `cps/residual#0`).
+    job_name: Option<String>,
 }
 
 impl Cluster {
@@ -93,6 +97,8 @@ impl Cluster {
             speeds: vec![1.0; machines],
             failure_prob: 0.0,
             telemetry: None,
+            trace: None,
+            job_name: None,
         }
     }
 
@@ -151,6 +157,47 @@ impl Cluster {
     /// The attached telemetry registry, if any.
     pub fn telemetry(&self) -> Option<&Registry> {
         self.telemetry.as_ref()
+    }
+
+    /// Attach a per-task trace sink. Every job run on this cluster then
+    /// records a [`stratmr_telemetry::JobTrace`]: one [`TraceEvent`]
+    /// per map/combine/shuffle-transfer/reduce task (including failed
+    /// attempts under [`Cluster::with_failures`]) with simulated start
+    /// times derived from the serial-per-machine schedule, so the trace
+    /// *is* the schedule and its bounding chain sums to the makespan.
+    /// Events are assembled on the driver thread and batch-appended
+    /// once per job — the parallel sections never touch the sink.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Set the job name recorded on traces from this cluster.
+    pub fn with_job_name(mut self, name: impl Into<String>) -> Self {
+        self.job_name = Some(name.into());
+        self
+    }
+
+    /// A handle to the same cluster (shared sinks) running jobs under
+    /// `name`, overriding any previously set name. Used by drivers that
+    /// run several logical jobs on one cluster (e.g. CPS phases).
+    pub fn named(&self, name: &str) -> Self {
+        self.clone().with_job_name(name)
+    }
+
+    /// Like [`Cluster::named`], but keeps an already-set name, so an
+    /// outer driver's more specific name wins over a library default.
+    pub fn named_or(&self, default: &str) -> Self {
+        if self.job_name.is_some() {
+            self.clone()
+        } else {
+            self.named(default)
+        }
     }
 
     /// Number of failed attempts before task `task_id` of phase `phase`
@@ -239,6 +286,7 @@ impl Cluster {
             combined: Vec<(K, C)>,
             in_records: u64,
             out_records: u64,
+            scan_bytes: u64,
             map_us: f64,
             combine_us: f64,
             combine_wall_us: f64,
@@ -320,6 +368,7 @@ impl Cluster {
                     combined,
                     in_records,
                     out_records,
+                    scan_bytes,
                     map_us,
                     combine_us,
                     combine_wall_us: combine_real_us,
@@ -336,6 +385,13 @@ impl Cluster {
             ..JobStats::default()
         };
         let map_retry_counter = tel.map(|t| t.counter("mr.map.task_retries"));
+        let tracing = self.trace.is_some();
+        let mut trace_events: Vec<TraceEvent> = Vec::new();
+        // per-machine simulated clocks for the trace: map tasks start
+        // once the job setup overhead has elapsed, and tasks on one
+        // machine run back to back in split order (the schedule the
+        // makespan model assumes)
+        let mut machine_clock = vec![costs.job_overhead_us; self.machines];
         let mut machine_map_us = vec![0.0f64; self.machines];
         let mut combine_wall_us = 0.0f64;
         for (task_id, t) in tasks.iter().enumerate() {
@@ -355,6 +411,56 @@ impl Cluster {
             stats.sim.combine_us += t.combine_us;
             let m = t.machine % self.machines;
             machine_map_us[m] += (t.map_us + t.combine_us + retry_us) * self.speeds[m];
+            if tracing {
+                let speed = self.speeds[m];
+                let clock = &mut machine_clock[m];
+                let retry_each = (costs.task_overhead_us + 0.5 * (t.map_us + t.combine_us)) * speed;
+                for attempt in 0..retries as u32 {
+                    trace_events.push(TraceEvent {
+                        phase: TracePhase::Map,
+                        task: task_id as u64,
+                        machine: m as u64,
+                        partition: None,
+                        attempt,
+                        failed: true,
+                        start_us: *clock,
+                        dur_us: retry_each,
+                        records: 0,
+                        bytes: 0,
+                    });
+                    *clock += retry_each;
+                }
+                let map_dur = t.map_us * speed;
+                trace_events.push(TraceEvent {
+                    phase: TracePhase::Map,
+                    task: task_id as u64,
+                    machine: m as u64,
+                    partition: None,
+                    attempt: retries as u32,
+                    failed: false,
+                    start_us: *clock,
+                    dur_us: map_dur,
+                    records: t.in_records,
+                    bytes: t.scan_bytes,
+                });
+                *clock += map_dur;
+                if job.has_combiner() {
+                    let combine_dur = t.combine_us * speed;
+                    trace_events.push(TraceEvent {
+                        phase: TracePhase::Combine,
+                        task: task_id as u64,
+                        machine: m as u64,
+                        partition: None,
+                        attempt: retries as u32,
+                        failed: false,
+                        start_us: *clock,
+                        dur_us: combine_dur,
+                        records: t.out_records,
+                        bytes: 0,
+                    });
+                    *clock += combine_dur;
+                }
+            }
         }
         // per-task combine work ran inside the map tasks; report its
         // aggregated wall time as a sibling phase of the driver's map span
@@ -390,6 +496,27 @@ impl Cluster {
             .iter()
             .map(|&b| b as f64 * costs.network_us_per_byte)
             .fold(0.0f64, f64::max);
+
+        // the map phase is a barrier: every shuffle transfer starts once
+        // the last map task (on the slowest machine) has finished
+        let map_barrier_us =
+            costs.job_overhead_us + machine_map_us.iter().copied().fold(0.0, f64::max);
+        if tracing {
+            for (p, pairs) in partitions.iter().enumerate() {
+                trace_events.push(TraceEvent {
+                    phase: TracePhase::Shuffle,
+                    task: p as u64,
+                    machine: (p % self.machines) as u64,
+                    partition: Some(p as u64),
+                    attempt: 0,
+                    failed: false,
+                    start_us: map_barrier_us,
+                    dur_us: partition_bytes[p] as f64 * costs.network_us_per_byte,
+                    records: pairs.len() as u64,
+                    bytes: partition_bytes[p],
+                });
+            }
+        }
 
         // ---- reduce phase: one task per partition ----------------------
         struct ReduceCounters {
@@ -456,6 +583,9 @@ impl Cluster {
         }
 
         let reduce_retry_counter = tel.map(|t| t.counter("mr.reduce.task_retries"));
+        // the shuffle is a barrier too: reduce tasks start once the
+        // largest partition has finished transferring
+        let mut reduce_clock = vec![map_barrier_us + shuffle_makespan; self.machines];
         let mut machine_reduce_us = vec![0.0f64; self.machines];
         let mut results = Vec::new();
         for (task_id, (machine, outs, n_values, us)) in reduce_outs.into_iter().enumerate() {
@@ -469,14 +599,61 @@ impl Cluster {
             }
             stats.sim.reduce_us += us + retry_us;
             machine_reduce_us[machine] += (us + retry_us) * self.speeds[machine];
+            if tracing {
+                let speed = self.speeds[machine];
+                let clock = &mut reduce_clock[machine];
+                let retry_each = (costs.task_overhead_us + 0.5 * us) * speed;
+                for attempt in 0..retries as u32 {
+                    trace_events.push(TraceEvent {
+                        phase: TracePhase::Reduce,
+                        task: task_id as u64,
+                        machine: machine as u64,
+                        partition: Some(task_id as u64),
+                        attempt,
+                        failed: true,
+                        start_us: *clock,
+                        dur_us: retry_each,
+                        records: 0,
+                        bytes: 0,
+                    });
+                    *clock += retry_each;
+                }
+                let dur = us * speed;
+                trace_events.push(TraceEvent {
+                    phase: TracePhase::Reduce,
+                    task: task_id as u64,
+                    machine: machine as u64,
+                    partition: Some(task_id as u64),
+                    attempt: retries as u32,
+                    failed: false,
+                    start_us: *clock,
+                    dur_us: dur,
+                    records: n_values,
+                    bytes: partition_bytes[task_id],
+                });
+                *clock += dur;
+            }
             results.extend(outs);
         }
 
-        stats.sim.makespan_us = costs.job_overhead_us
-            + machine_map_us.iter().copied().fold(0.0, f64::max)
+        stats.sim.makespan_us = map_barrier_us
             + shuffle_makespan
             + machine_reduce_us.iter().copied().fold(0.0, f64::max);
         stats.wall_secs = start.elapsed().as_secs_f64();
+
+        if let Some(sink) = &self.trace {
+            // sorted-stream determinism contract: (phase, machine,
+            // task, attempt) — a total order because the key is unique
+            // per event
+            trace_events.sort_unstable_by_key(|e| (e.phase, e.machine, e.task, e.attempt));
+            sink.record_job(
+                self.job_name.as_deref().unwrap_or("job"),
+                costs.job_overhead_us,
+                stats.sim.makespan_us,
+                self.machines as u64,
+                trace_events,
+            );
+        }
 
         // per-job simulated-time distributions (integer µs, so the
         // aggregate is independent of thread interleaving)

@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod cluster;
 pub mod cost;
 pub mod driver;
@@ -50,3 +51,4 @@ pub use cost::{CostConfig, SimTime};
 pub use driver::JobLog;
 pub use job::{CombineJob, Emitter, Job, TaskCtx};
 pub use split::{make_splits, InputSplit};
+pub use stratmr_telemetry::{JobTrace, TraceEvent, TracePhase, TraceSink};

@@ -170,7 +170,13 @@ pub fn mr_cps_on_splits(
     // ---- step 1: representative first-phase answer (Line 1) ------------
     let initial = {
         let _s = tel.map(|t| t.span("initial_mqe"));
-        mr_mqe_on_splits(cluster, splits, queries, None, seed.wrapping_add(1))
+        mr_mqe_on_splits(
+            &cluster.named("cps/initial-mqe"),
+            splits,
+            queries,
+            None,
+            seed.wrapping_add(1),
+        )
     };
     phase_stats.push(("initial MR-MQE".to_string(), initial.stats.clone()));
 
@@ -197,7 +203,7 @@ pub fn mr_cps_on_splits(
     let (limits, limit_stats) = {
         let _s = tel.map(|t| t.span("limits"));
         stratum_selection_limits(
-            cluster,
+            &cluster.named("cps/limits"),
             splits,
             queries,
             Some(&relevant_set),
@@ -269,7 +275,11 @@ pub fn mr_cps_on_splits(
     };
     let combined = {
         let _s = tel.map(|t| t.span("combined_sqe"));
-        cluster.run_with_combiner(&combined_job, splits, seed.wrapping_add(3))
+        cluster.named("cps/combined-sqe").run_with_combiner(
+            &combined_job,
+            splits,
+            seed.wrapping_add(3),
+        )
     };
     phase_stats.push(("combined MR-SQE".to_string(), combined.stats.clone()));
     let mut pools: Vec<Vec<Individual>> = vec![Vec::new(); active.len()];
@@ -327,7 +337,9 @@ pub fn mr_cps_on_splits(
         };
         let residual = {
             let _s = tel.map(|t| t.span("residual"));
-            cluster.run_with_combiner(&residual_job, splits, seed.wrapping_add(4 + round as u64))
+            cluster
+                .named(&format!("cps/residual#{round}"))
+                .run_with_combiner(&residual_job, splits, seed.wrapping_add(4 + round as u64))
         };
         if let Some(t) = tel {
             t.counter("cps.residual.rounds").inc();
@@ -741,6 +753,26 @@ mod tests {
             StratumConstraint::new(Formula::ge(x(), 70), 6),
         ]);
         MssdQuery::new(vec![q1, q2], CostModel::paper_style(2, 4.0, &[], 10.0))
+    }
+
+    #[test]
+    fn traced_cps_names_each_phase() {
+        use stratmr_mapreduce::TraceSink;
+        let data = dataset(1000).distribute(3, 6, Placement::RoundRobin);
+        let sink = TraceSink::new();
+        let cluster = Cluster::new(3).with_trace(sink.clone());
+        let mssd = overlapping_mssd();
+        mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 42).unwrap();
+        let names: Vec<String> = sink.jobs().into_iter().map(|j| j.name).collect();
+        assert_eq!(names[0], "cps/initial-mqe", "all: {names:?}");
+        assert_eq!(names[1], "cps/limits");
+        assert_eq!(names[2], "cps/combined-sqe");
+        // residual rounds (if any) are numbered
+        for (i, n) in names.iter().enumerate().skip(3) {
+            assert_eq!(n, &format!("cps/residual#{}", i - 3), "all: {names:?}");
+        }
+        // every job carries a non-empty event stream
+        assert!(sink.jobs().iter().all(|j| !j.events.is_empty()));
     }
 
     #[test]

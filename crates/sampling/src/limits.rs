@@ -88,7 +88,9 @@ pub fn stratum_selection_limits(
     if let Some(f) = filter {
         job = job.with_filter(f);
     }
-    let out = cluster.run_with_combiner(&job, splits, seed);
+    let out = cluster
+        .named_or("limits")
+        .run_with_combiner(&job, splits, seed);
     (out.results.into_iter().collect(), out.stats)
 }
 

@@ -150,6 +150,7 @@ pub fn mr_mqe_on_splits(
     exclusions: Option<&[HashSet<u64>]>,
     seed: u64,
 ) -> MqeRun {
+    let cluster = cluster.named_or("mqe");
     let _span = cluster.telemetry().map(|t| t.span("mqe.run"));
     let mut job = MqeJob::new(queries);
     if let Some(ex) = exclusions {

@@ -72,7 +72,7 @@ pub fn naive_sqe_on_splits(
     seed: u64,
 ) -> SqeRun {
     let job = NaiveSqeJob::new(query);
-    let out = cluster.run(&job, splits, seed);
+    let out = cluster.named_or("naive-sqe").run(&job, splits, seed);
     let mut answer = SsdAnswer::empty(query.len());
     for (k, sample) in out.results {
         *answer.stratum_mut(k) = sample;

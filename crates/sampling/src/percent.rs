@@ -103,7 +103,9 @@ pub fn resolve_percentages(
     let job = CountJob {
         strata: &query.strata,
     };
-    let out = cluster.run_with_combiner(&job, splits, seed);
+    let out = cluster
+        .named_or("percent-resolve")
+        .run_with_combiner(&job, splits, seed);
     let mut counts = vec![0u64; query.strata.len()];
     for (k, c) in out.results {
         counts[k] = c;

@@ -156,6 +156,7 @@ fn mr_sqe_with_job(
     mut job: SqeJob<'_>,
     seed: u64,
 ) -> SqeRun {
+    let cluster = cluster.named_or("sqe");
     let _span = cluster.telemetry().map(|t| t.span("sqe.run"));
     if let Some(registry) = cluster.telemetry() {
         job = job.with_telemetry(registry);

@@ -31,7 +31,7 @@ pub fn mr_srs_on_splits(
     seed: u64,
 ) -> (Vec<Individual>, SqeRun) {
     let query = SsdQuery::new(vec![StratumConstraint::new(Formula::tautology(), n)]);
-    let run = mr_sqe_on_splits(cluster, splits, &query, seed);
+    let run = mr_sqe_on_splits(&cluster.named_or("srs"), splits, &query, seed);
     (run.answer.stratum(0).to_vec(), run)
 }
 

@@ -33,6 +33,10 @@
 
 #![warn(missing_docs)]
 
+mod trace;
+
+pub use trace::{JobTrace, TraceEvent, TracePhase, TraceSink};
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -97,6 +101,17 @@ pub struct Histogram {
     /// min is stored as the raw value; u64::MAX means "empty".
     min: Arc<AtomicU64>,
     max: Arc<AtomicU64>,
+    /// log2 bucket counts: bucket 0 holds value 0, bucket k ≥ 1 holds
+    /// values in [2^(k-1), 2^k - 1]. Enables order-of-magnitude
+    /// percentile estimates without per-value storage.
+    buckets: Arc<[AtomicU64; BUCKETS]>,
+}
+
+/// Number of log2 histogram buckets (value 0 + one per bit of u64).
+const BUCKETS: usize = 65;
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
 }
 
 impl Default for Histogram {
@@ -112,6 +127,7 @@ impl Histogram {
             sum: Arc::new(AtomicU64::new(0)),
             min: Arc::new(AtomicU64::new(u64::MAX)),
             max: Arc::new(AtomicU64::new(0)),
+            buckets: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
         }
     }
 
@@ -121,6 +137,7 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Immutable view of the current aggregate.
@@ -135,6 +152,7 @@ impl Histogram {
                 self.min.load(Ordering::Relaxed)
             },
             max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
         }
     }
 }
@@ -150,6 +168,8 @@ pub struct HistogramStats {
     pub min: u64,
     /// Largest observation (0 when empty).
     pub max: u64,
+    /// log2 bucket counts (see [`Histogram`]).
+    pub buckets: [u64; BUCKETS],
 }
 
 impl HistogramStats {
@@ -160,6 +180,42 @@ impl HistogramStats {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Quantile estimate from the log2 buckets: the upper edge of the
+    /// bucket holding the rank-`⌈q·count⌉` observation, clamped into
+    /// `[min, max]` (so a single-valued histogram reports that value
+    /// exactly). `q` is clamped into `[0, 1]`; returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let edge = if k == 0 {
+                    0
+                } else if k >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << k) - 1
+                };
+                return edge.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistogramStats::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate (see [`HistogramStats::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 }
 
@@ -480,19 +536,31 @@ impl Snapshot {
             for (k, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {k:<w$}  count={} sum={} min={} max={} mean={:.2}",
+                    "  {k:<w$}  count={} sum={} min={} max={} mean={:.2} p50={} p99={}",
                     h.count,
                     h.sum,
                     h.min,
                     h.max,
-                    h.mean()
+                    h.mean(),
+                    h.p50(),
+                    h.p99()
                 );
             }
         }
         if !self.spans.is_empty() {
+            // heaviest spans first, so the report leads with where the
+            // time actually went; ties (e.g. zeroed host fields) fall
+            // back to path order
             out.push_str("spans:\n");
             let w = self.spans.keys().map(String::len).max().unwrap_or(0);
-            for (k, s) in &self.spans {
+            let mut spans: Vec<(&String, &SpanStat)> = self.spans.iter().collect();
+            spans.sort_by(|(ka, sa), (kb, sb)| {
+                sb.wall_secs
+                    .partial_cmp(&sa.wall_secs)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| ka.cmp(kb))
+            });
+            for (k, s) in spans {
                 let _ = writeln!(out, "  {k:<w$}  calls={} wall={:.6}s", s.calls, s.wall_secs);
             }
         }
@@ -647,6 +715,50 @@ mod tests {
         assert!(json.contains("\"a.count\": 3"));
         assert!(json.contains("\"sim.us\": 12.5"));
         assert!(json.contains("\"phase\": 1"));
+    }
+
+    #[test]
+    fn histogram_quantiles_estimate_from_log2_buckets() {
+        let reg = Registry::new();
+        for v in 1..=100u64 {
+            reg.record("lat", v);
+        }
+        let h = reg.snapshot().histogram("lat").unwrap();
+        // p50 of 1..=100 is 50; its bucket [32, 63] has upper edge 63
+        assert_eq!(h.p50(), 63);
+        // p99 lands in bucket [64, 127], clamped to the observed max
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile(0.0), 1, "q=0 clamps to min");
+        assert_eq!(h.quantile(1.0), 100, "q=1 clamps to max");
+
+        let empty = Histogram::new().stats();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+
+        let single = Registry::new();
+        single.record("one", 42);
+        let h = single.snapshot().histogram("one").unwrap();
+        assert_eq!(h.p50(), 42, "single-valued histogram is exact");
+        assert_eq!(h.p99(), 42);
+    }
+
+    #[test]
+    fn text_report_shows_percentiles_and_sorts_spans_by_wall_time() {
+        let reg = Registry::new();
+        for v in [1u64, 2, 3, 100] {
+            reg.record("lat", v);
+        }
+        reg.observe_span("cheap", 0.001);
+        reg.observe_span("expensive", 2.5);
+        let text = reg.snapshot().render_text();
+        assert!(text.contains("p50="), "missing p50 column: {text}");
+        assert!(text.contains("p99="), "missing p99 column: {text}");
+        let expensive = text.find("expensive").unwrap();
+        let cheap = text.find("cheap").unwrap();
+        assert!(
+            expensive < cheap,
+            "spans must be sorted by total wall time, heaviest first: {text}"
+        );
     }
 
     #[test]
