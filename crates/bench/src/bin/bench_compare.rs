@@ -1,0 +1,66 @@
+//! Diff two `BENCH_*.json` artifact sets with noise-aware gates.
+//!
+//! ```text
+//! cargo run --release -p stratmr-bench --bin bench_compare -- \
+//!     <baseline-dir> <current-dir>
+//! ```
+//!
+//! Prints the per-metric delta table (with Mann–Whitney z-scores and
+//! the critical-path stage that moved next to any regression) and sets
+//! the exit status for CI gating:
+//!
+//! * `0` — no regression past the gates;
+//! * `1` — at least one regression (named on stdout);
+//! * `2` — the comparison itself is invalid: bad usage, unreadable
+//!   artifacts, schema or scale-config mismatch.
+//!
+//! The relative-delta threshold (default 10%) is overridable via the
+//! `BENCH_COMPARE_THRESHOLD` environment variable.
+
+use std::path::Path;
+use stratmr_bench::compare::{compare, CompareOpts};
+use stratmr_bench::BenchArtifact;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_dir, current_dir] = args.as_slice() else {
+        eprintln!("usage: bench_compare <baseline-dir> <current-dir>");
+        std::process::exit(2);
+    };
+    let load = |dir: &str| match BenchArtifact::load_dir(Path::new(dir)) {
+        Ok(artifacts) if artifacts.is_empty() => {
+            eprintln!("error: no BENCH_*.json artifacts in {dir}");
+            std::process::exit(2);
+        }
+        Ok(artifacts) => artifacts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = load(baseline_dir);
+    let current = load(current_dir);
+    let opts = CompareOpts::from_env();
+    println!(
+        "bench_compare — baseline {} ({} artifacts) vs current {} ({} artifacts), \
+         threshold {:.0}%, z_crit {:.1}\n",
+        baseline_dir,
+        baseline.len(),
+        current_dir,
+        current.len(),
+        100.0 * opts.threshold,
+        opts.z_crit
+    );
+    match compare(&baseline, &current, &opts) {
+        Ok(report) => {
+            print!("{}", report.render(&opts));
+            if report.has_regressions() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,108 +1,17 @@
-//! **Figure 6**: for `1 ≤ i ≤ 9`, the percentage of individuals assigned
-//! to `i` surveys by MR-CPS (1 = no sharing), averaged over runs.
-//!
-//! Paper: MR-CPS assigns each individual to ≈ 2 surveys on average,
-//! while MR-MQE's incidental sharing never exceeds 4%.
+//! **Figure 6**: sharing degrees under MR-CPS vs. MR-MQE.
+//! See [`stratmr_bench::experiments::fig6`].
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin fig6_sharing -- \
 //!     --telemetry fig6_telemetry.json --trace fig6_trace.json
 //! ```
 
-use serde::Serialize;
-use stratmr_bench::{report, telemetry, BenchEnv, Table};
-use stratmr_query::GroupSpec;
-use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
-use stratmr_sampling::mqe::mr_mqe_on_splits;
-
-#[derive(Serialize)]
-struct Record {
-    group: String,
-    sample_size: usize,
-    runs: usize,
-    cps_percent_by_degree: Vec<f64>,
-    cps_avg_degree: f64,
-    mqe_shared_percent: f64,
-}
+use stratmr_bench::{experiments, CliArgs};
 
 fn main() {
-    let sink = telemetry::from_args();
-    let trace = telemetry::trace_from_args();
-    let env = BenchEnv::from_env();
-    let sample_size = env.config.scales[env.config.scales.len() / 2];
-    let runs = env.config.runs;
-    let cluster = telemetry::attach_trace(
-        telemetry::attach(env.cluster(env.config.machines), sink.as_ref()),
-        trace.as_ref(),
-    );
-    println!(
-        "Figure 6 — %% of individuals assigned to i surveys by MR-CPS \
-         (population {}, sample {}, {} runs)\n",
-        env.config.population, sample_size, runs
-    );
-
-    let max_n = GroupSpec::LARGE.n_ssds;
-    let mut table = Table::new(&["i", "Small", "Medium", "Large"]);
-    let mut columns: Vec<Vec<f64>> = Vec::new();
-    let mut records = Vec::new();
-    for spec in &GroupSpec::ALL {
-        let mut hist_sum = vec![0usize; spec.n_ssds];
-        let mut unique_sum = 0usize;
-        let mut degree_sum = 0usize;
-        let mut mqe_shared = 0usize;
-        let mut mqe_unique = 0usize;
-        for run in 0..runs {
-            let mssd = env.group(spec, sample_size, 2000 + run as u64);
-            let seed = 7000 + run as u64;
-            let cps = mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::mr_cps(), seed)
-                .expect("solvable");
-            let hist = cps.answer.sharing_histogram(spec.n_ssds);
-            for (d, &c) in hist.iter().enumerate() {
-                hist_sum[d] += c;
-                degree_sum += (d + 1) * c;
-            }
-            unique_sum += hist.iter().sum::<usize>();
-            let mqe = mr_mqe_on_splits(&cluster, &env.splits, mssd.queries(), None, seed);
-            let mh = mqe.answer.sharing_histogram(spec.n_ssds);
-            mqe_shared += mh.iter().skip(1).sum::<usize>();
-            mqe_unique += mh.iter().sum::<usize>();
-        }
-        let percents: Vec<f64> = (0..max_n)
-            .map(|d| {
-                if d < hist_sum.len() {
-                    100.0 * hist_sum[d] as f64 / unique_sum.max(1) as f64
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let avg_degree = degree_sum as f64 / unique_sum.max(1) as f64;
-        let mqe_pct = 100.0 * mqe_shared as f64 / mqe_unique.max(1) as f64;
-        println!(
-            "{:<6}: avg surveys per individual (CPS) = {:.2};  MQE incidental sharing = {:.1}%",
-            spec.name, avg_degree, mqe_pct
-        );
-        records.push(Record {
-            group: spec.name.to_string(),
-            sample_size,
-            runs,
-            cps_percent_by_degree: percents.clone(),
-            cps_avg_degree: avg_degree,
-            mqe_shared_percent: mqe_pct,
-        });
-        columns.push(percents);
-    }
-    println!();
-    for d in 0..max_n {
-        table.row(
-            std::iter::once(format!("{}", d + 1))
-                .chain(columns.iter().map(|c| format!("{:.0}%", c[d])))
-                .collect(),
-        );
-    }
-    table.print();
-    let path = report::write_record("fig6_sharing", &records).unwrap();
-    println!("\nrecord: {}", path.display());
-    telemetry::finish_trace(trace);
-    telemetry::finish(sink);
+    let cli = CliArgs::parse();
+    let env = cli.bench_env();
+    let out = experiments::fig6::run(&env, &cli.obs());
+    print!("{}", out.text);
+    cli.finish(&out, &env.config);
 }

@@ -1,129 +1,17 @@
-//! **Figure 7**: running times of MR-MQE and MR-CPS for the nine
-//! (group × sample-scale) configurations on clusters of 1, 5 and 10
-//! slave nodes.
-//!
-//! Paper findings this harness should reproduce in shape:
-//! * near-linear improvement with added slaves;
-//! * MR-CPS ≈ 3× MR-MQE (it runs MR-SQE/MQE three times);
-//! * ≈ 70% / 28% / 1% of the work in the map / combine / reduce phases.
-//!
-//! Times are the simulated-cluster makespans of the cost model (see
-//! DESIGN.md, substitution 1); real wall-clock on this host is recorded
-//! in the JSON output for reference.
+//! **Figure 7**: running times of MR-MQE and MR-CPS vs. cluster size.
+//! See [`stratmr_bench::experiments::fig7`].
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin fig7_running_times -- \
 //!     --telemetry fig7_telemetry.json --trace fig7_trace.json
 //! ```
 
-use serde::Serialize;
-use stratmr_bench::{report, telemetry, BenchEnv, Table};
-use stratmr_query::GroupSpec;
-use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
-use stratmr_sampling::mqe::mr_mqe_on_splits;
-
-#[derive(Serialize)]
-struct Record {
-    group: String,
-    sample_size: usize,
-    slaves: usize,
-    mqe_sim_minutes: f64,
-    cps_sim_minutes: f64,
-    mqe_wall_secs: f64,
-    cps_wall_secs: f64,
-    map_frac: f64,
-    combine_frac: f64,
-    reduce_frac: f64,
-}
+use stratmr_bench::{experiments, CliArgs};
 
 fn main() {
-    let sink = telemetry::from_args();
-    let trace = telemetry::trace_from_args();
-    let env = BenchEnv::from_env();
-    let slaves_configs = [1usize, 5, 10];
-    println!(
-        "Figure 7 — simulated running times (minutes), population {}\n",
-        env.config.population
-    );
-
-    let mut table = Table::new(&[
-        "config", "MQE[1]", "CPS[1]", "MQE[5]", "CPS[5]", "MQE[10]", "CPS[10]",
-    ]);
-    let mut records = Vec::new();
-    let mut frac_acc = (0.0, 0.0, 0.0, 0usize);
-    for spec in &GroupSpec::ALL {
-        for &scale in &env.config.scales {
-            let mssd = env.group(spec, scale, 4000);
-            let mut cells = vec![format!("{}~{}", spec.name, scale)];
-            for &slaves in &slaves_configs {
-                let cluster = telemetry::attach_trace(
-                    telemetry::attach(env.cluster(slaves), sink.as_ref()),
-                    trace.as_ref(),
-                );
-                let mqe = mr_mqe_on_splits(&cluster, &env.splits, mssd.queries(), None, 42);
-                let mqe_min = mqe.stats.sim.makespan_us / 60e6;
-                let cps = mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::mr_cps(), 42)
-                    .expect("solvable");
-                let cps_min: f64 = cps
-                    .phase_stats
-                    .iter()
-                    .map(|(_, s)| s.sim.makespan_us / 60e6)
-                    .sum();
-                let cps_wall: f64 = cps.phase_stats.iter().map(|(_, s)| s.wall_secs).sum();
-                cells.push(format!("{mqe_min:.1}"));
-                cells.push(format!("{cps_min:.1}"));
-                // phase-fraction accounting (over all CPS MapReduce jobs)
-                let mut sim = stratmr_mapreduce::SimTime::default();
-                for (_, s) in &cps.phase_stats {
-                    sim.map_us += s.sim.map_us;
-                    sim.combine_us += s.sim.combine_us;
-                    sim.shuffle_us += s.sim.shuffle_us;
-                    sim.reduce_us += s.sim.reduce_us;
-                }
-                let (m, c, r) = sim.phase_fractions();
-                frac_acc.0 += m;
-                frac_acc.1 += c;
-                frac_acc.2 += r;
-                frac_acc.3 += 1;
-                records.push(Record {
-                    group: spec.name.to_string(),
-                    sample_size: scale,
-                    slaves,
-                    mqe_sim_minutes: mqe_min,
-                    cps_sim_minutes: cps_min,
-                    mqe_wall_secs: mqe.stats.wall_secs,
-                    cps_wall_secs: cps_wall,
-                    map_frac: m,
-                    combine_frac: c,
-                    reduce_frac: r,
-                });
-            }
-            table.row(cells);
-        }
-    }
-    table.print();
-    let n = frac_acc.3 as f64;
-    println!(
-        "\naverage phase breakdown (map / combine+shuffle / reduce): \
-         {:.0}% / {:.0}% / {:.0}%  (paper: ~70% / 28% / 1%)",
-        100.0 * frac_acc.0 / n,
-        100.0 * frac_acc.1 / n,
-        100.0 * frac_acc.2 / n
-    );
-    // speedup summary: 1 → 10 slaves
-    let by_key = |slaves: usize| -> f64 {
-        records
-            .iter()
-            .filter(|r| r.slaves == slaves)
-            .map(|r| r.mqe_sim_minutes + r.cps_sim_minutes)
-            .sum()
-    };
-    println!(
-        "aggregate speedup 1 → 10 slaves: {:.1}× (linear would be 10×)",
-        by_key(1) / by_key(10)
-    );
-    let path = report::write_record("fig7_running_times", &records).unwrap();
-    println!("record: {}", path.display());
-    telemetry::finish_trace(trace);
-    telemetry::finish(sink);
+    let cli = CliArgs::parse();
+    let env = cli.bench_env();
+    let out = experiments::fig7::run(&env, &cli.obs());
+    print!("{}", out.text);
+    cli.finish(&out, &env.config);
 }

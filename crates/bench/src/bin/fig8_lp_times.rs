@@ -1,120 +1,17 @@
-//! **Figure 8**: average time spent formulating and solving the LP in
-//! MR-CPS, per query group and sample scale (log scale in the paper).
-//!
-//! Paper: always in the order of seconds — insignificant next to the
-//! MapReduce phases, and independent of the dataset size (it depends
-//! only on the query-group size and `|[[Q]]*|`).
+//! **Figure 8**: LP formulation and solving times in MR-CPS.
+//! See [`stratmr_bench::experiments::fig8`].
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin fig8_lp_times -- \
 //!     --telemetry fig8_telemetry.json --trace fig8_trace.json
 //! ```
 
-use serde::Serialize;
-use stratmr_bench::{fmt_duration_s, report, telemetry, BenchEnv, Table};
-use stratmr_query::GroupSpec;
-use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
-
-#[derive(Serialize)]
-struct Record {
-    group: String,
-    sample_size: usize,
-    runs: usize,
-    avg_formulate_secs: f64,
-    avg_solve_secs: f64,
-    avg_variables: f64,
-    avg_constraints: f64,
-    avg_relevant_selections: f64,
-    lp_share_of_total_sim: f64,
-}
+use stratmr_bench::{experiments, CliArgs};
 
 fn main() {
-    let sink = telemetry::from_args();
-    let trace = telemetry::trace_from_args();
-    let env = BenchEnv::from_env();
-    let runs = env.config.runs.clamp(1, 10);
-    let cluster = telemetry::attach_trace(
-        telemetry::attach(env.cluster(env.config.machines), sink.as_ref()),
-        trace.as_ref(),
-    );
-    println!(
-        "Figure 8 — LP formulation + solving time in MR-CPS \
-         (population {}, {} runs per point)\n",
-        env.config.population, runs
-    );
-
-    let mut table = Table::new(&[
-        "config",
-        "formulate",
-        "solve",
-        "vars",
-        "constraints",
-        "|[[Q]]*|",
-        "share of job",
-    ]);
-    let mut records = Vec::new();
-    for spec in &GroupSpec::ALL {
-        for &scale in &env.config.scales {
-            let mut f_sum = 0.0;
-            let mut s_sum = 0.0;
-            let mut v_sum = 0.0;
-            let mut c_sum = 0.0;
-            let mut r_sum = 0.0;
-            let mut share_sum = 0.0;
-            for run in 0..runs {
-                let mssd = env.group(spec, scale, 3000 + run as u64);
-                let cps = mr_cps_on_splits(
-                    &cluster,
-                    &env.splits,
-                    &mssd,
-                    CpsConfig::mr_cps(),
-                    900 + run as u64,
-                )
-                .expect("solvable");
-                f_sum += cps.timings.formulate_secs;
-                s_sum += cps.timings.solve_secs;
-                v_sum += cps.variables as f64;
-                c_sum += cps.constraints as f64;
-                r_sum += cps.relevant_selections as f64;
-                let lp = cps.timings.formulate_secs + cps.timings.solve_secs;
-                let sim_total: f64 = cps
-                    .phase_stats
-                    .iter()
-                    .map(|(_, st)| st.sim.makespan_secs())
-                    .sum();
-                share_sum += lp / (lp + sim_total);
-            }
-            let n = runs as f64;
-            table.row(vec![
-                format!("{}~{}", spec.name, scale),
-                fmt_duration_s(f_sum / n),
-                fmt_duration_s(s_sum / n),
-                format!("{:.0}", v_sum / n),
-                format!("{:.0}", c_sum / n),
-                format!("{:.0}", r_sum / n),
-                format!("{:.3}%", 100.0 * share_sum / n),
-            ]);
-            records.push(Record {
-                group: spec.name.to_string(),
-                sample_size: scale,
-                runs,
-                avg_formulate_secs: f_sum / n,
-                avg_solve_secs: s_sum / n,
-                avg_variables: v_sum / n,
-                avg_constraints: c_sum / n,
-                avg_relevant_selections: r_sum / n,
-                lp_share_of_total_sim: share_sum / n,
-            });
-        }
-    }
-    table.print();
-    println!(
-        "\nThe LP share of total (simulated) job time stays ≪ 1%, matching the\n\
-         paper's finding that \"the LP solver has almost no effect on the\n\
-         running times\" and one node suffices for it."
-    );
-    let path = report::write_record("fig8_lp_times", &records).unwrap();
-    println!("record: {}", path.display());
-    telemetry::finish_trace(trace);
-    telemetry::finish(sink);
+    let cli = CliArgs::parse();
+    let env = cli.bench_env();
+    let out = experiments::fig8::run(&env, &cli.obs());
+    print!("{}", out.text);
+    cli.finish(&out, &env.config);
 }

@@ -1,128 +1,17 @@
-//! **§6.2.2 optimality analysis**: how far is MR-CPS from the true
-//! optimum?
-//!
-//! The paper bounds the gap through the residual answers: with
-//! `C_LP ≤ C_IP ≤ C_A`, the answer cost exceeds the IP optimum by at
-//! most the LP-to-answer gap, and residual answers were ≤ 5.5% of the
-//! answers, so MR-CPS costs at most ~5.5% more than optimal.
-//!
-//! This harness measures, over repeated runs:
-//! * the residual fraction;
-//! * the ordering `C_LP ≤ C_IP ≤ C_A` directly (IP solved exactly by
-//!   branch and bound);
-//! * the realized relative gap `(C_A − C_IP) / C_A`.
+//! **§6.2.2 optimality analysis**: how far is MR-CPS from the optimum?
+//! See [`stratmr_bench::experiments::optimality`].
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin optimality -- \
 //!     --telemetry optimality_telemetry.json --trace optimality_trace.json
 //! ```
 
-use serde::Serialize;
-use stratmr_bench::{report, telemetry, BenchEnv, Table};
-use stratmr_query::GroupSpec;
-use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
-
-#[derive(Serialize)]
-struct Record {
-    group: String,
-    sample_size: usize,
-    runs: usize,
-    avg_residual_fraction: f64,
-    max_residual_fraction: f64,
-    avg_c_lp: f64,
-    avg_c_ip: f64,
-    avg_c_a: f64,
-    avg_gap_percent: f64,
-    ordering_violations: usize,
-}
+use stratmr_bench::{experiments, CliArgs};
 
 fn main() {
-    let sink = telemetry::from_args();
-    let trace = telemetry::trace_from_args();
-    let env = BenchEnv::from_env();
-    let runs = env.config.runs.clamp(1, 10);
-    let sample_size = env.config.scales[env.config.scales.len() / 2];
-    let cluster = telemetry::attach_trace(
-        telemetry::attach(env.cluster(env.config.machines), sink.as_ref()),
-        trace.as_ref(),
-    );
-    println!(
-        "§6.2.2 — optimality of MR-CPS (population {}, sample {}, {} runs)\n",
-        env.config.population, sample_size, runs
-    );
-
-    let mut table = Table::new(&[
-        "group",
-        "avg residual",
-        "max residual",
-        "C_LP",
-        "C_IP",
-        "C_A",
-        "gap (C_A−C_IP)/C_A",
-    ]);
-    let mut records = Vec::new();
-    for spec in &GroupSpec::ALL {
-        let mut res_sum = 0.0;
-        let mut res_max = 0.0f64;
-        let mut lp_sum = 0.0;
-        let mut ip_sum = 0.0;
-        let mut ca_sum = 0.0;
-        let mut gap_sum = 0.0;
-        let mut violations = 0usize;
-        for run in 0..runs {
-            let mssd = env.group(spec, sample_size, 6000 + run as u64);
-            let seed = 800 + run as u64;
-            let lp_run = mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::mr_cps(), seed)
-                .expect("LP solvable");
-            let ip_run = mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::exact(), seed)
-                .expect("IP solvable");
-            let c_lp = lp_run.solver_objective;
-            let c_ip = ip_run.solver_objective;
-            let c_a = lp_run.cost;
-            if !(c_lp <= c_ip + 1e-6 && c_ip <= c_a + 1e-6) {
-                violations += 1;
-            }
-            let frac =
-                lp_run.residual_selections as f64 / lp_run.answer.total_selections().max(1) as f64;
-            res_sum += frac;
-            res_max = res_max.max(frac);
-            lp_sum += c_lp;
-            ip_sum += c_ip;
-            ca_sum += c_a;
-            gap_sum += (c_a - c_ip) / c_a.max(1e-9);
-        }
-        let n = runs as f64;
-        table.row(vec![
-            spec.name.to_string(),
-            format!("{:.2}%", 100.0 * res_sum / n),
-            format!("{:.2}%", 100.0 * res_max),
-            format!("${:.0}", lp_sum / n),
-            format!("${:.0}", ip_sum / n),
-            format!("${:.0}", ca_sum / n),
-            format!("{:.2}%", 100.0 * gap_sum / n),
-        ]);
-        records.push(Record {
-            group: spec.name.to_string(),
-            sample_size,
-            runs,
-            avg_residual_fraction: res_sum / n,
-            max_residual_fraction: res_max,
-            avg_c_lp: lp_sum / n,
-            avg_c_ip: ip_sum / n,
-            avg_c_a: ca_sum / n,
-            avg_gap_percent: 100.0 * gap_sum / n,
-            ordering_violations: violations,
-        });
-    }
-    table.print();
-    let total_violations: usize = records.iter().map(|r| r.ordering_violations).sum();
-    println!(
-        "\nordering C_LP ≤ C_IP ≤ C_A violated in {total_violations} of {} runs \
-         (paper bound: residuals ≤ 5.5%)",
-        runs * GroupSpec::ALL.len()
-    );
-    let path = report::write_record("optimality", &records).unwrap();
-    println!("record: {}", path.display());
-    telemetry::finish_trace(trace);
-    telemetry::finish(sink);
+    let cli = CliArgs::parse();
+    let env = cli.bench_env();
+    let out = experiments::optimality::run(&env, &cli.obs());
+    print!("{}", out.text);
+    cli.finish(&out, &env.config);
 }

@@ -1,117 +1,17 @@
 //! **Extended experiment**: running times under cluster perturbations.
-//!
-//! The paper evaluates on a healthy homogeneous cluster; real Hadoop
-//! fleets see stragglers and task failures. This harness repeats the
-//! Figure 7 measurement for the Medium group under three conditions —
-//! healthy, one straggler at one-third speed, and 10% task-failure
-//! rate with retries — and reports the simulated makespans. Results are
-//! **identical samples** in all three conditions (retries re-run
-//! deterministic tasks); only time changes.
+//! See [`stratmr_bench::experiments::robustness`].
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin robustness -- \
 //!     --telemetry robustness_telemetry.json --trace robustness_trace.json
 //! ```
 
-use serde::Serialize;
-use stratmr_bench::{report, telemetry, BenchEnv, Table};
-use stratmr_mapreduce::Cluster;
-use stratmr_query::GroupSpec;
-use stratmr_sampling::mqe::mr_mqe_on_splits;
-
-#[derive(Serialize)]
-struct Record {
-    condition: String,
-    slaves: usize,
-    sim_minutes: f64,
-    map_retries: u64,
-    reduce_retries: u64,
-    answers_identical_to_healthy: bool,
-}
+use stratmr_bench::{experiments, CliArgs};
 
 fn main() {
-    let sink = telemetry::from_args();
-    let trace = telemetry::trace_from_args();
-    let env = BenchEnv::from_env();
-    let scale = env.config.scales[env.config.scales.len() / 2];
-    let mssd = env.group(&GroupSpec::MEDIUM, scale, 4100);
-    println!(
-        "Cluster-perturbation robustness — MR-MQE, Medium group, sample {scale}, \
-         population {}\n",
-        env.config.population
-    );
-
-    let mut table = Table::new(&[
-        "condition",
-        "slaves",
-        "time (min)",
-        "retries",
-        "same answer",
-    ]);
-    let mut records = Vec::new();
-    for &slaves in &[5usize, 10] {
-        let conditions: Vec<(&str, Cluster)> = vec![
-            (
-                "healthy",
-                telemetry::attach_trace(
-                    telemetry::attach(Cluster::new(slaves), sink.as_ref()),
-                    trace.as_ref(),
-                ),
-            ),
-            ("one straggler (3× slow)", {
-                let mut speeds = vec![1.0; slaves];
-                speeds[slaves - 1] = 3.0;
-                telemetry::attach_trace(
-                    telemetry::attach(
-                        Cluster::new(slaves).with_machine_slowness(speeds),
-                        sink.as_ref(),
-                    ),
-                    trace.as_ref(),
-                )
-            }),
-            (
-                "10% task failures",
-                telemetry::attach_trace(
-                    telemetry::attach(Cluster::new(slaves).with_failures(0.10), sink.as_ref()),
-                    trace.as_ref(),
-                ),
-            ),
-        ];
-        let healthy_answer =
-            mr_mqe_on_splits(&conditions[0].1, &env.splits, mssd.queries(), None, 77).answer;
-        for (name, cluster) in conditions {
-            let run = mr_mqe_on_splits(&cluster, &env.splits, mssd.queries(), None, 77);
-            let same = run.answer == healthy_answer;
-            let retries = run.stats.map_task_retries + run.stats.reduce_task_retries;
-            table.row(vec![
-                name.to_string(),
-                slaves.to_string(),
-                format!("{:.2}", run.stats.sim.makespan_us / 60e6),
-                retries.to_string(),
-                if same { "yes" } else { "NO" }.to_string(),
-            ]);
-            records.push(Record {
-                condition: name.to_string(),
-                slaves,
-                sim_minutes: run.stats.sim.makespan_us / 60e6,
-                map_retries: run.stats.map_task_retries,
-                reduce_retries: run.stats.reduce_task_retries,
-                answers_identical_to_healthy: same,
-            });
-        }
-    }
-    table.print();
-    assert!(
-        records.iter().all(|r| r.answers_identical_to_healthy),
-        "perturbations must never change the sample"
-    );
-    println!(
-        "\nPerturbations slow the cluster but never change the sample: failed\n\
-         tasks re-run with the same task seed (deterministic recovery, as in\n\
-         Hadoop's re-execution of deterministic tasks)."
-    );
-    let path = report::write_record("robustness", &records).unwrap();
-    println!("record: {}", path.display());
-    telemetry::finish_trace(trace);
-    telemetry::finish(sink);
+    let cli = CliArgs::parse();
+    let env = cli.bench_env();
+    let out = experiments::robustness::run(&env, &cli.obs());
+    print!("{}", out.text);
+    cli.finish(&out, &env.config);
 }

@@ -1,128 +1,16 @@
 //! **Table 1**: the attribute distributions of the DBLP-like dataset.
-//!
-//! The paper lists, per attribute, a domain and a fitted distribution
-//! (Dagum / Burr / Power Function). This harness generates the synthetic
-//! population and verifies that the empirical marginals match the
-//! specified distributions: it prints spec vs. generated quantiles and a
-//! Kolmogorov–Smirnov distance per attribute.
+//! See [`stratmr_bench::experiments::table1`].
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin table1_dataset
 //! ```
 
-use serde::Serialize;
-use stratmr_bench::{report, Table};
-use stratmr_population::dblp::{DblpConfig, DblpGenerator, DBLP_ATTRS};
-
-#[derive(Serialize)]
-struct Record {
-    attribute: String,
-    domain: (i64, i64),
-    quantiles_spec: Vec<f64>,
-    quantiles_generated: Vec<i64>,
-    ks_distance: f64,
-}
+use stratmr_bench::{experiments, CliArgs};
 
 fn main() {
-    let population: usize = std::env::var("STRATMR_POP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100_000);
-    // marginals are checked in uncorrelated mode: the consistency fixups
-    // (ly ≥ fy etc.) intentionally perturb the joint distribution
-    let generator = DblpGenerator::new(DblpConfig {
-        correlated: false,
-        ..DblpConfig::default()
-    });
-    let data = generator.generate(population, 0x7AB1E);
-    let schema = DblpGenerator::schema();
-    println!(
-        "Table 1 — attribute marginals of the synthetic DBLP dataset \
-         ({population} authors)\n"
-    );
-
-    let qs = [0.25, 0.50, 0.75, 0.95];
-    let mut table = Table::new(&[
-        "attr",
-        "domain",
-        "q25 spec/gen",
-        "q50 spec/gen",
-        "q75 spec/gen",
-        "q95 spec/gen",
-        "KS",
-    ]);
-    let mut records = Vec::new();
-    for name in DBLP_ATTRS {
-        let attr = schema.attr_id(name).unwrap();
-        let def = schema.attr(attr);
-        let mut values: Vec<i64> = data.tuples().iter().map(|t| t.get(attr)).collect();
-        values.sort_unstable();
-        let gen_q: Vec<i64> = qs
-            .iter()
-            .map(|&q| values[((values.len() - 1) as f64 * q) as usize])
-            .collect();
-        // spec quantiles by inverting the analytic CDF numerically
-        let spec_q: Vec<f64> = qs
-            .iter()
-            .map(|&q| invert_cdf(&generator, name, q, def.min as f64, def.max as f64))
-            .collect();
-        // KS distance between the empirical CDF and the analytic CDF.
-        // Integer data is heavily tied, so the empirical CDF is compared
-        // once per distinct value, at the end of its tie group; boundary
-        // values are skipped because clamping piles tail mass there by
-        // design.
-        let n = values.len() as f64;
-        let mut ks = 0.0f64;
-        let mut i = 0;
-        while i < values.len() {
-            let v = values[i];
-            let mut j = i;
-            while j < values.len() && values[j] == v {
-                j += 1;
-            }
-            if v > def.min && v < def.max {
-                let emp = j as f64 / n; // F_emp(v), inclusive of the tie group
-                let spec = generator.attr_cdf(name, v as f64 + 0.5).unwrap();
-                ks = ks.max((emp - spec).abs());
-            }
-            i = j;
-        }
-        table.row(vec![
-            name.to_string(),
-            format!("[{}, {}]", def.min, def.max),
-            format!("{:.0}/{}", spec_q[0], gen_q[0]),
-            format!("{:.0}/{}", spec_q[1], gen_q[1]),
-            format!("{:.0}/{}", spec_q[2], gen_q[2]),
-            format!("{:.0}/{}", spec_q[3], gen_q[3]),
-            format!("{ks:.4}"),
-        ]);
-        records.push(Record {
-            attribute: name.to_string(),
-            domain: (def.min, def.max),
-            quantiles_spec: spec_q,
-            quantiles_generated: gen_q,
-            ks_distance: ks,
-        });
-    }
-    table.print();
-    println!(
-        "\nKS distances ≲ 0.01 confirm the generator reproduces the Table 1 \
-         marginals (boundary mass from domain clamping excluded)."
-    );
-    let path = report::write_record("table1_dataset", &records).unwrap();
-    println!("record: {}", path.display());
-}
-
-/// Numerically invert an attribute's CDF by bisection on the domain.
-fn invert_cdf(generator: &DblpGenerator, attr: &str, q: f64, lo: f64, hi: f64) -> f64 {
-    let (mut lo, mut hi) = (lo, hi);
-    for _ in 0..60 {
-        let mid = 0.5 * (lo + hi);
-        if generator.attr_cdf(attr, mid).unwrap() < q {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    0.5 * (lo + hi)
+    let cli = CliArgs::parse();
+    let env = cli.bench_env();
+    let out = experiments::table1::run(&env, &cli.obs());
+    print!("{}", out.text);
+    cli.finish(&out, &env.config);
 }

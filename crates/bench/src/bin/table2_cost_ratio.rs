@@ -1,8 +1,5 @@
 //! **Table 2**: survey cost of MR-CPS as a percentage of MR-MQE's.
-//!
-//! Paper (100 GB DBLP extract, 100 runs):
-//! `Small 62% — Medium 51% — Large 47%`, the ratio falling with group
-//! size because larger groups offer more sharing opportunities.
+//! See [`stratmr_bench::experiments::table2`].
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin table2_cost_ratio -- \
@@ -10,87 +7,12 @@
 //! ```
 //! `--uniform` reruns on the §6.2.1 uniform synthetic dataset.
 
-use serde::Serialize;
-use stratmr_bench::{report, telemetry, BenchConfig, BenchEnv, Table};
-use stratmr_query::GroupSpec;
-use stratmr_sampling::cps::{mr_cps_on_splits, CpsConfig};
-use stratmr_sampling::mqe::mr_mqe_on_splits;
-
-#[derive(Serialize)]
-struct Record {
-    dataset: String,
-    population: usize,
-    sample_size: usize,
-    runs: usize,
-    group: String,
-    avg_cost_mqe: f64,
-    avg_cost_cps: f64,
-    ratio_percent: f64,
-    paper_percent: f64,
-}
+use stratmr_bench::{experiments, CliArgs};
 
 fn main() {
-    let sink = telemetry::from_args();
-    let trace = telemetry::trace_from_args();
-    let uniform = std::env::args().any(|a| a == "--uniform");
-    let mut config = BenchConfig::from_env();
-    config.uniform = uniform;
-    let env = BenchEnv::new(config);
-    let dataset = if uniform { "uniform" } else { "dblp" };
-    // Table 2 aggregates per group; use the middle scale.
-    let sample_size = env.config.scales[env.config.scales.len() / 2];
-    let runs = env.config.runs;
-    println!(
-        "Table 2 — cost(MR-CPS) / cost(MR-MQE), {dataset} dataset, \
-         population {}, sample {} per SSD, {} runs\n",
-        env.config.population, sample_size, runs
-    );
-
-    let cluster = telemetry::attach_trace(
-        telemetry::attach(env.cluster(env.config.machines), sink.as_ref()),
-        trace.as_ref(),
-    );
-    let paper = [62.0, 51.0, 47.0];
-    let mut table = Table::new(&["group", "avg cost MQE", "avg cost CPS", "CPS/MQE", "paper"]);
-    let mut records = Vec::new();
-    for (g, spec) in GroupSpec::ALL.iter().enumerate() {
-        let mut mqe_total = 0.0;
-        let mut cps_total = 0.0;
-        for run in 0..runs {
-            // a fresh query group per run, as in the paper's averaging
-            let mssd = env.group(spec, sample_size, 1000 + run as u64);
-            let seed = 5000 + run as u64;
-            let mqe = mr_mqe_on_splits(&cluster, &env.splits, mssd.queries(), None, seed);
-            mqe_total += mqe.answer.cost(mssd.costs());
-            let cps = mr_cps_on_splits(&cluster, &env.splits, &mssd, CpsConfig::mr_cps(), seed)
-                .expect("CPS program must be solvable");
-            cps_total += cps.cost;
-        }
-        let avg_mqe = mqe_total / runs as f64;
-        let avg_cps = cps_total / runs as f64;
-        let ratio = 100.0 * avg_cps / avg_mqe;
-        table.row(vec![
-            spec.name.to_string(),
-            format!("${avg_mqe:.0}"),
-            format!("${avg_cps:.0}"),
-            format!("{ratio:.0}%"),
-            format!("{:.0}%", paper[g]),
-        ]);
-        records.push(Record {
-            dataset: dataset.to_string(),
-            population: env.config.population,
-            sample_size,
-            runs,
-            group: spec.name.to_string(),
-            avg_cost_mqe: avg_mqe,
-            avg_cost_cps: avg_cps,
-            ratio_percent: ratio,
-            paper_percent: paper[g],
-        });
-    }
-    table.print();
-    let path = report::write_record(&format!("table2_{dataset}"), &records).unwrap();
-    println!("\nrecord: {}", path.display());
-    telemetry::finish_trace(trace);
-    telemetry::finish(sink);
+    let cli = CliArgs::parse();
+    let env = cli.bench_env();
+    let out = experiments::table2::run(&env, &cli.obs());
+    print!("{}", out.text);
+    cli.finish(&out, &env.config);
 }

@@ -1,13 +1,21 @@
-//! Shared experiment environment: datasets, clusters and scale knobs.
+//! Shared experiment environment: datasets, clusters and scale knobs —
+//! plus the [`CliArgs`] flag parsing every bench binary shares.
 
+use crate::experiments::{ExpOutput, Obs};
+use crate::meta::ArtifactMeta;
+use crate::report;
+use crate::telemetry::{self, TelemetrySink, TraceFile};
 use stratmr_mapreduce::{Cluster, InputSplit};
 use stratmr_population::dblp::{DblpConfig, DblpGenerator};
 use stratmr_population::uniform::generate_uniform;
 use stratmr_population::{Dataset, Individual, Placement};
 use stratmr_query::{GroupSpec, MssdQuery, QueryGenerator};
 
+/// Seed every experiment dataset is generated from.
+pub const DATA_SEED: u64 = 0xDB1F;
+
 /// Scale configuration, read from the environment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchConfig {
     /// Number of individuals in the synthetic population.
     pub population: usize,
@@ -82,9 +90,9 @@ impl BenchEnv {
     /// Build the environment: generate the population and partition it.
     pub fn new(config: BenchConfig) -> Self {
         let data = if config.uniform {
-            generate_uniform(config.population, 0xDB1F, 100_000)
+            generate_uniform(config.population, DATA_SEED, 100_000)
         } else {
-            DblpGenerator::new(DblpConfig::default()).generate(config.population, 0xDB1F)
+            DblpGenerator::new(DblpConfig::default()).generate(config.population, DATA_SEED)
         };
         let dist = data.distribute(config.machines, config.splits, Placement::RoundRobin);
         let splits = stratmr_sampling::to_input_splits(&dist);
@@ -112,6 +120,68 @@ impl BenchEnv {
     pub fn group(&self, spec: &GroupSpec, sample_size: usize, seed: u64) -> MssdQuery {
         self.qgen
             .generate_paper_group_on(spec, sample_size, self.data.tuples(), seed)
+    }
+}
+
+/// The command-line flags shared by every bench binary, parsed once:
+/// `--telemetry <out.json>`, `--trace <out.json>` and `--uniform`.
+///
+/// A binary's `main` is then three steps — parse, run the experiment
+/// from [`crate::experiments`] with [`CliArgs::obs`], and
+/// [`CliArgs::finish`] — so flag handling and the JSON write path
+/// (records, telemetry, trace, each stamped with the common
+/// [`ArtifactMeta`] header) exist exactly once.
+#[derive(Default)]
+pub struct CliArgs {
+    /// `--telemetry <out.json>`: registry + output path.
+    pub telemetry: Option<TelemetrySink>,
+    /// `--trace <out.json>`: trace sink + output path.
+    pub trace: Option<TraceFile>,
+    /// `--uniform`: use the §6.2.1 uniform synthetic dataset.
+    pub uniform: bool,
+}
+
+impl CliArgs {
+    /// Parse the shared flags from the process arguments.
+    pub fn parse() -> Self {
+        CliArgs {
+            telemetry: telemetry::from_args(),
+            trace: telemetry::trace_from_args(),
+            uniform: std::env::args().any(|a| a == "--uniform"),
+        }
+    }
+
+    /// Build the experiment environment from `STRATMR_*` variables plus
+    /// the `--uniform` flag.
+    pub fn bench_env(&self) -> BenchEnv {
+        let mut config = BenchConfig::from_env();
+        config.uniform = self.uniform;
+        BenchEnv::new(config)
+    }
+
+    /// The observability context the flags requested.
+    pub fn obs(&self) -> Obs {
+        Obs {
+            registry: self.telemetry.as_ref().map(|t| t.registry.clone()),
+            trace: self.trace.as_ref().map(|t| t.sink.clone()),
+        }
+    }
+
+    /// The single write path for everything a bench binary emits: the
+    /// experiment record under `target/experiments/`, then the trace
+    /// and telemetry JSON if requested — each stamped with the common
+    /// meta header.
+    pub fn finish(self, out: &ExpOutput, config: &BenchConfig) {
+        let meta = ArtifactMeta::capture(out.name, DATA_SEED, config).to_json();
+        match report::write_record_json(&out.record_name, &meta, &out.records_json) {
+            Ok(path) => println!("record: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write record {}: {e}", out.record_name);
+                std::process::exit(1);
+            }
+        }
+        telemetry::finish_trace(self.trace, Some(&meta));
+        telemetry::finish(self.telemetry, Some(&meta));
     }
 }
 

@@ -30,10 +30,16 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod compare;
 pub mod env;
+pub mod experiments;
+pub mod meta;
 pub mod report;
 pub mod telemetry;
 
-pub use env::{BenchConfig, BenchEnv};
+pub use artifact::{BenchArtifact, MetricSeries, StageTotals};
+pub use env::{BenchConfig, BenchEnv, CliArgs};
+pub use meta::{ArtifactMeta, SCHEMA_VERSION};
 pub use report::{fmt_duration_s, Table};
 pub use telemetry::{TelemetrySink, TraceFile};

@@ -1,7 +1,6 @@
 //! Plain-text table rendering, JSON experiment records and per-job
 //! trace summaries.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use stratmr_mapreduce::{analysis, JobTrace};
@@ -29,9 +28,13 @@ impl Table {
         self
     }
 
-    /// Render with aligned columns.
+    /// Render with aligned columns. A headerless table renders as the
+    /// empty string.
     pub fn render(&self) -> String {
         let cols = self.header.len();
+        if cols == 0 {
+            return String::new();
+        }
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for c in 0..cols {
@@ -76,16 +79,29 @@ pub fn fmt_duration_s(secs: f64) -> String {
 }
 
 /// Write an experiment record as JSON under `target/experiments/`, so
-/// EXPERIMENTS.md entries are backed by machine-readable data.
-pub fn write_record<T: Serialize>(name: &str, record: &T) -> std::io::Result<PathBuf> {
+/// EXPERIMENTS.md entries are backed by machine-readable data. The file
+/// is `{"meta": <header>, "records": <array>}` with the common
+/// single-line meta header first — the one write path every bench
+/// binary goes through.
+pub fn write_record_json(
+    name: &str,
+    meta_json: &str,
+    records_json: &str,
+) -> std::io::Result<PathBuf> {
     let dir =
         PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
             .join("experiments");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(record)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(&path, json)?;
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"meta\": {meta_json},");
+    body.push_str("  \"records\": ");
+    body.push_str(&crate::artifact::indent_after_first_line(
+        records_json,
+        "  ",
+    ));
+    body.push_str("\n}\n");
+    std::fs::write(&path, body)?;
     Ok(path)
 }
 
@@ -171,13 +187,39 @@ mod tests {
     }
 
     #[test]
-    fn record_write_round_trips() {
-        #[derive(serde::Serialize)]
-        struct R {
-            x: u32,
-        }
-        let path = write_record("unit-test-record", &R { x: 7 }).unwrap();
+    fn record_write_embeds_meta_then_records() {
+        let path = write_record_json(
+            "unit-test-record",
+            r#"{"schema_version": 1}"#,
+            "[\n  {\n    \"x\": 7\n  }\n]",
+        )
+        .unwrap();
         let body = std::fs::read_to_string(path).unwrap();
-        assert!(body.contains("\"x\": 7"));
+        assert!(
+            body.starts_with("{\n  \"meta\": {\"schema_version\": 1},\n"),
+            "{body}"
+        );
+        assert!(body.contains("\"records\": ["), "{body}");
+        assert!(body.contains("\"x\": 7"), "{body}");
+        let parsed = serde_json::parse_value_str(&body).expect("valid JSON");
+        assert!(parsed.as_object().is_some());
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        let t = Table::new(&[]);
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn single_row_table_aligns_to_widest_cell() {
+        let mut t = Table::new(&["metric", "v"]);
+        t.row(vec!["makespan".into(), "12".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "{s}");
+        assert!(lines[0].contains("metric"));
+        assert_eq!(lines[1], "-".repeat(lines[2].len()), "{s}");
+        assert!(lines[2].ends_with("12"));
     }
 }

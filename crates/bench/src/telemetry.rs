@@ -32,9 +32,10 @@ pub struct TelemetrySink {
 }
 
 impl TelemetrySink {
-    /// Write the registry snapshot as JSON to the requested path.
-    pub fn write(&self) -> std::io::Result<&std::path::Path> {
-        std::fs::write(&self.path, self.registry.snapshot().to_json())?;
+    /// Write the registry snapshot as JSON to the requested path,
+    /// stamped with the given single-line `meta` header if any.
+    pub fn write(&self, meta: Option<&str>) -> std::io::Result<&std::path::Path> {
+        std::fs::write(&self.path, self.registry.snapshot().to_json_with_meta(meta))?;
         Ok(&self.path)
     }
 }
@@ -73,12 +74,13 @@ pub fn attach(cluster: Cluster, sink: Option<&TelemetrySink>) -> Cluster {
     }
 }
 
-/// Write the telemetry JSON (if a sink is active) and report the path.
-/// An unwritable path is reported on stderr and exits with status 1 so
-/// a scripted run notices the missing dump.
-pub fn finish(sink: Option<TelemetrySink>) {
+/// Write the telemetry JSON (if a sink is active) and report the path,
+/// stamping the given `meta` header. An unwritable path is reported on
+/// stderr and exits with status 1 so a scripted run notices the missing
+/// dump.
+pub fn finish(sink: Option<TelemetrySink>, meta: Option<&str>) {
     if let Some(s) = sink {
-        match s.write() {
+        match s.write(meta) {
             Ok(path) => println!("telemetry: {}", path.display()),
             Err(e) => {
                 eprintln!("error: cannot write telemetry to {}: {e}", s.path.display());
@@ -139,13 +141,14 @@ pub fn attach_trace(cluster: Cluster, trace: Option<&TraceFile>) -> Cluster {
 }
 
 /// Write the Chrome-trace JSON (if a sink is active), print the per-job
-/// critical-path/skew summary, and report the path. Exits with status 1
-/// on an unwritable path, like [`finish`].
-pub fn finish_trace(trace: Option<TraceFile>) {
+/// critical-path/skew summary, and report the path, stamping the given
+/// `meta` header. Exits with status 1 on an unwritable path, like
+/// [`finish`].
+pub fn finish_trace(trace: Option<TraceFile>, meta: Option<&str>) {
     if let Some(t) = trace {
         let jobs = t.sink.jobs();
         print!("{}", crate::report::render_trace_summary(&jobs));
-        match std::fs::write(&t.path, t.sink.chrome_trace_json()) {
+        match std::fs::write(&t.path, t.sink.chrome_trace_json_with_meta(meta)) {
             Ok(()) => println!("trace: {} ({} jobs)", t.path.display(), jobs.len()),
             Err(e) => {
                 eprintln!("error: cannot write trace to {}: {e}", t.path.display());

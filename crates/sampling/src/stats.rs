@@ -109,6 +109,75 @@ pub fn chi2_gof_ok(observed: &[u64], expected: &[f64]) -> bool {
     chi2_statistic(observed, expected) < chi2_critical_999(observed.len() - 1)
 }
 
+/// Mann–Whitney U z-score of two samples (normal approximation with
+/// tie correction and continuity correction).
+///
+/// Positive when `b` tends to exceed `a`, negative when `b` tends to
+/// fall below it, ~0 when the samples are exchangeable. Used by the
+/// benchmark comparator as a noise-aware shift test on timing
+/// distributions: a large |z| means the two sample sets genuinely
+/// moved apart rather than wobbling within their own spread. Returns
+/// 0.0 when either sample is empty or when every value is tied (no
+/// rank information — e.g. two identical deterministic sample sets).
+pub fn mann_whitney_z(a: &[f64], b: &[f64]) -> f64 {
+    let (n1, n2) = (a.len() as f64, b.len() as f64);
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // pool and rank with average ranks for ties
+    let mut pooled: Vec<(f64, bool)> = a
+        .iter()
+        .map(|&v| (v, false))
+        .chain(b.iter().map(|&v| (v, true)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+    let n = pooled.len();
+    let mut rank_sum_b = 0.0f64;
+    let mut tie_term = 0.0f64; // Σ (t³ − t) over tie groups
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && pooled[j].0 == pooled[i].0 {
+            j += 1;
+        }
+        let t = (j - i) as f64;
+        // ranks are 1-based; the tie group spans ranks i+1 ..= j
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        for p in &pooled[i..j] {
+            if p.1 {
+                rank_sum_b += avg_rank;
+            }
+        }
+        tie_term += t * t * t - t;
+        i = j;
+    }
+    let u_b = rank_sum_b - n2 * (n2 + 1.0) / 2.0;
+    let mean_u = n1 * n2 / 2.0;
+    let n_tot = n1 + n2;
+    let var_u = n1 * n2 / 12.0 * (n_tot + 1.0 - tie_term / (n_tot * (n_tot - 1.0)));
+    if var_u <= 0.0 {
+        return 0.0; // all values tied: no evidence of a shift
+    }
+    let diff = u_b - mean_u;
+    // continuity correction toward zero
+    let diff = if diff > 0.5 {
+        diff - 0.5
+    } else if diff < -0.5 {
+        diff + 0.5
+    } else {
+        0.0
+    };
+    diff / var_u.sqrt()
+}
+
+/// Two-sided Mann–Whitney check: do the samples differ by more than
+/// `z_crit` standard deviations of the U statistic? See
+/// [`mann_whitney_z`]; `z_crit = 3.0` rejects exchangeable samples with
+/// probability ≈ 0.3%.
+pub fn mann_whitney_shifted(a: &[f64], b: &[f64], z_crit: f64) -> bool {
+    mann_whitney_z(a, b).abs() > z_crit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +269,43 @@ mod tests {
     fn chi2_gof_accepts_good_fit_and_rejects_bad() {
         assert!(chi2_gof_ok(&[98, 102, 100, 100], &[100.0; 4]));
         assert!(!chi2_gof_ok(&[400, 0, 0, 0], &[100.0; 4]));
+    }
+
+    #[test]
+    fn mann_whitney_zero_for_identical_and_degenerate_samples() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(mann_whitney_z(&a, &a), 0.0, "identical samples");
+        assert_eq!(mann_whitney_z(&[], &a), 0.0, "empty sample");
+        assert_eq!(mann_whitney_z(&a, &[]), 0.0);
+        // every value tied: variance collapses, no shift evidence
+        assert_eq!(mann_whitney_z(&[5.0; 8], &[5.0; 8]), 0.0);
+        assert!(!mann_whitney_shifted(&a, &a, 3.0));
+    }
+
+    #[test]
+    fn mann_whitney_detects_a_clean_shift() {
+        let a: Vec<f64> = (0..12).map(|i| 100.0 + i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|v| v * 1.25).collect(); // +25%
+        let z = mann_whitney_z(&a, &b);
+        assert!(z > 3.0, "inflated sample must rank above baseline: z={z}");
+        assert!(mann_whitney_shifted(&a, &b, 3.0));
+        // symmetric: deflated sample gives the mirrored z
+        close(mann_whitney_z(&b, &a), -z, 1e-12);
+    }
+
+    #[test]
+    fn mann_whitney_ignores_small_wobble() {
+        // interleaved samples differing by a hair: no significant shift
+        let a: Vec<f64> = (0..10).map(|i| 10.0 + 2.0 * i as f64).collect();
+        let b: Vec<f64> = (0..10).map(|i| 11.0 + 2.0 * i as f64).collect();
+        assert!(!mann_whitney_shifted(&a, &b, 3.0));
+    }
+
+    #[test]
+    fn mann_whitney_matches_hand_computed_u() {
+        // a = [1,2], b = [3,4]: U_b = 4 (b wins every comparison),
+        // mean U = 2, var = 2·2·5/12 = 5/3 → z = (4-2-0.5)/sqrt(5/3)
+        let z = mann_whitney_z(&[1.0, 2.0], &[3.0, 4.0]);
+        close(z, 1.5 / (5.0f64 / 3.0).sqrt(), 1e-12);
     }
 }

@@ -213,6 +213,11 @@ impl HistogramStats {
         self.quantile(0.50)
     }
 
+    /// 95th-percentile estimate (see [`HistogramStats::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
     /// 99th-percentile estimate (see [`HistogramStats::quantile`]).
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
@@ -483,8 +488,26 @@ impl Snapshot {
     /// counts only) are deterministic for a fixed seed; every
     /// wall-clock measurement is confined to the trailing `"host"`
     /// subobject.
+    ///
+    /// The export is built for clean line diffs: map keys come from
+    /// `BTreeMap`s (sorted), the keys of every histogram object are
+    /// alphabetical, and every float prints with exactly six fractional
+    /// digits, so equal values always serialise to identical lines.
     pub fn to_json(&self) -> String {
+        self.to_json_with_meta(None)
+    }
+
+    /// Render as JSON with a caller-supplied `meta` header as the first
+    /// key (see [`Snapshot::to_json`] for the layout of the rest).
+    ///
+    /// `meta_json` must be a pre-rendered, single-line JSON value; it is
+    /// embedded verbatim so the telemetry crate stays agnostic of what
+    /// the header contains (git SHA, config, seed, …).
+    pub fn to_json_with_meta(&self, meta_json: Option<&str>) -> String {
         let mut out = String::from("{\n");
+        if let Some(meta) = meta_json {
+            let _ = writeln!(out, "  \"meta\": {meta},");
+        }
         out.push_str("  \"counters\": {");
         write_map(&mut out, self.counters.iter(), |out, v| {
             let _ = write!(out, "{v}");
@@ -495,10 +518,20 @@ impl Snapshot {
         });
         out.push_str(",\n  \"histograms\": {");
         write_map(&mut out, self.histograms.iter(), |out, h| {
+            // alphabetical keys, fixed-precision mean: clean line diffs
             let _ = write!(
                 out,
-                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
-                h.count, h.sum, h.min, h.max
+                "{{\"count\": {}, \"max\": {}, \"mean\": ",
+                h.count, h.max
+            );
+            write_json_f64(out, h.mean());
+            let _ = write!(
+                out,
+                ", \"min\": {}, \"p50\": {}, \"p95\": {}, \"sum\": {}}}",
+                h.min,
+                h.p50(),
+                h.p95(),
+                h.sum
             );
         });
         out.push_str(",\n  \"spans\": {");
@@ -608,12 +641,13 @@ fn write_map_indented<'a, V: 'a>(
     let _ = write!(out, "\n{closing_indent}}}");
 }
 
+/// Write a float with exactly six fractional digits (or `null` for
+/// non-finite values). Fixed precision keeps exports line-diffable:
+/// equal values always render to identical bytes, and a value that
+/// moves changes exactly one line.
 fn write_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
-        let _ = write!(out, "{v}");
-        if v.fract() == 0.0 && !v.to_string().contains('.') && v.abs() < 1e15 {
-            out.push_str(".0");
-        }
+        let _ = write!(out, "{v:.6}");
     } else {
         out.push_str("null");
     }
@@ -713,8 +747,38 @@ mod tests {
         let host_at = json.find("\"host\"").expect("host subobject present");
         assert!(json.find("wall").unwrap() > host_at);
         assert!(json.contains("\"a.count\": 3"));
-        assert!(json.contains("\"sim.us\": 12.5"));
+        assert!(json.contains("\"sim.us\": 12.500000"), "{json}");
         assert!(json.contains("\"phase\": 1"));
+    }
+
+    #[test]
+    fn json_histograms_use_sorted_keys_and_percentiles() {
+        let reg = Registry::new();
+        for v in [1u64, 2, 3, 100] {
+            reg.record("lat", v);
+        }
+        let json = reg.snapshot().to_json();
+        assert!(
+            json.contains(
+                "\"lat\": {\"count\": 4, \"max\": 100, \"mean\": 26.500000, \
+                 \"min\": 1, \"p50\": 3, \"p95\": 100, \"sum\": 106}"
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn json_meta_header_is_embedded_first() {
+        let reg = Registry::new();
+        reg.add("jobs", 1);
+        let snap = reg.snapshot();
+        let json = snap.to_json_with_meta(Some("{\"git_sha\": \"abc\"}"));
+        let meta_at = json.find("\"meta\"").expect("meta key present");
+        let counters_at = json.find("\"counters\"").unwrap();
+        assert!(meta_at < counters_at, "meta must lead: {json}");
+        assert!(json.contains("{\"git_sha\": \"abc\"}"));
+        // without meta the layout is unchanged
+        assert!(snap.to_json().starts_with("{\n  \"counters\""));
     }
 
     #[test]

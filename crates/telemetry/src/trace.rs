@@ -207,8 +207,21 @@ impl TraceSink {
     /// byte-reproducible whenever the event durations are (see the
     /// module docs).
     pub fn chrome_trace_json(&self) -> String {
+        self.chrome_trace_json_with_meta(None)
+    }
+
+    /// [`TraceSink::chrome_trace_json`] with a caller-supplied `meta`
+    /// header as the first top-level key. The trace-event format
+    /// tolerates extra top-level keys, so the file stays
+    /// Perfetto-loadable. `meta_json` must be a pre-rendered,
+    /// single-line JSON value; it is embedded verbatim.
+    pub fn chrome_trace_json_with_meta(&self, meta_json: Option<&str>) -> String {
         let jobs = self.inner.lock().unwrap();
-        let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+        let mut out = String::from("{\n");
+        if let Some(meta) = meta_json {
+            let _ = writeln!(out, "\"meta\": {meta},");
+        }
+        out.push_str("\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
         let mut first = true;
         let push = |out: &mut String, line: &str, first: &mut bool| {
             if !*first {
@@ -374,6 +387,19 @@ mod tests {
         let clone = sink.clone();
         clone.record_job("j", 0.0, 1.0, 1, vec![]);
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn meta_header_leads_the_chrome_export() {
+        let sink = TraceSink::new();
+        sink.record_job("j", 0.0, 1.0, 1, vec![]);
+        let json = sink.chrome_trace_json_with_meta(Some("{\"seed\": 7}"));
+        assert!(json.starts_with("{\n\"meta\": {\"seed\": 7},\n"), "{json}");
+        assert!(json.contains("\"displayTimeUnit\""));
+        // plain export is unchanged
+        assert!(sink
+            .chrome_trace_json()
+            .starts_with("{\n\"displayTimeUnit\""));
     }
 
     #[test]
