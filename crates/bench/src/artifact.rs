@@ -138,6 +138,64 @@ impl StageTotals {
     }
 }
 
+/// One per-stratum row of the artifact's sample-quality block: the
+/// audit ledger's inclusion-probability trail for one sampling-job
+/// stratum, plus its realized-`f` bias z-score.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QualityStratum {
+    /// Counter prefix identifying job and stratum (`sqe.s0`, …).
+    pub key: String,
+    /// Requested sample frequency `f`.
+    pub requested: u64,
+    /// Candidates seen for the stratum.
+    pub candidates: u64,
+    /// Individuals actually sampled.
+    pub sampled: u64,
+    /// Realized-`f` bias z-score against Binomial(candidates, f/candidates).
+    pub bias_z: f64,
+}
+
+/// The `quality` block of a v2 artifact: the sampling audit ledger
+/// condensed per stratum, its summary statistics, and the experiment's
+/// mean optimality gap when it solved constraint programs.
+/// `bench_compare` gates on this block (realized-`f` bias against the
+/// binomial bound, optimality-gap regressions).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QualityBlock {
+    /// Per-stratum audit rows, sorted by key.
+    pub strata: Vec<QualityStratum>,
+    /// Largest absolute bias z-score across the strata.
+    pub max_abs_bias_z: f64,
+    /// Strata that requested individuals but sampled none.
+    pub starved_strata: u64,
+    /// Mean relative optimality gap `(C_A − C_sol) / C_A` across the
+    /// experiment's CPS runs; `None` for experiments without a solver.
+    pub optimality_gap: Option<f64>,
+}
+
+impl QualityBlock {
+    /// Condense an audit [`stratmr_sampling::QualityReport`] (plus an
+    /// optional solver gap) into the artifact block.
+    pub fn from_report(report: &stratmr_sampling::QualityReport, gap: Option<f64>) -> Self {
+        QualityBlock {
+            strata: report
+                .trails
+                .iter()
+                .map(|t| QualityStratum {
+                    key: t.key.clone(),
+                    requested: t.requested,
+                    candidates: t.candidates,
+                    sampled: t.sampled,
+                    bias_z: t.bias_z(),
+                })
+                .collect(),
+            max_abs_bias_z: report.max_abs_bias_z(),
+            starved_strata: report.starved_strata() as u64,
+            optimality_gap: gap,
+        }
+    }
+}
+
 /// One experiment's benchmark artifact (see module docs).
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchArtifact {
@@ -147,6 +205,8 @@ pub struct BenchArtifact {
     pub stages: StageTotals,
     /// Named sample sets, rendered in sorted name order.
     pub metrics: BTreeMap<String, MetricSeries>,
+    /// Sample-quality block (schema v2).
+    pub quality: QualityBlock,
     /// The experiment's per-row records as pretty JSON (an array).
     pub records_json: String,
 }
@@ -208,6 +268,36 @@ impl BenchArtifact {
             }
             out.push_str("\n  },\n");
         }
+        let q = &self.quality;
+        let _ = write!(
+            out,
+            "  \"quality\": {{\n    \"max_abs_bias_z\": {:.6},\n    \"optimality_gap\": ",
+            q.max_abs_bias_z
+        );
+        match q.optimality_gap {
+            Some(g) if g.is_finite() => {
+                let _ = write!(out, "{g:.6}");
+            }
+            _ => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\n    \"starved_strata\": {},\n    \"strata\": [",
+            q.starved_strata
+        );
+        for (i, s) in q.strata.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "      {{\"bias_z\": {:.6}, \"candidates\": {}, \"key\": {:?}, \
+                 \"requested\": {}, \"sampled\": {}}}",
+                s.bias_z, s.candidates, s.key, s.requested, s.sampled
+            );
+        }
+        if !q.strata.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  },\n");
         out.push_str("  \"records\": ");
         out.push_str(&indent_after_first_line(&self.records_json, "  "));
         out.push_str("\n}\n");
@@ -256,12 +346,19 @@ impl BenchArtifact {
                 .collect::<Result<Vec<_>, _>>()?;
             metrics.insert(name.clone(), MetricSeries { unit, samples });
         }
+        // lenient: pre-v2 artifacts have no quality block; they still
+        // parse (compare refuses cross-version diffs on its own)
+        let quality = match serde::find_field(fields, "quality") {
+            Some(q) => parse_quality(q)?,
+            None => QualityBlock::default(),
+        };
         let records_json =
             serde_json::to_string_pretty(get("records")?).map_err(|e| e.to_string())?;
         Ok(BenchArtifact {
             meta,
             stages,
             metrics,
+            quality,
             records_json,
         })
     }
@@ -303,6 +400,44 @@ impl BenchArtifact {
     }
 }
 
+/// Parse the `quality` block of an artifact.
+fn parse_quality(v: &serde::Value) -> Result<QualityBlock, String> {
+    let fields = v.as_object().ok_or("quality is not an object")?;
+    let get = |key: &str| {
+        serde::find_field(fields, key).ok_or_else(|| format!("quality missing {key:?}"))
+    };
+    let optimality_gap = match get("optimality_gap")? {
+        serde::Value::Null => None,
+        other => Some(as_f64(other)?),
+    };
+    let mut strata = Vec::new();
+    for s in get("strata")?
+        .as_array()
+        .ok_or("quality.strata is not an array")?
+    {
+        let sf = s.as_object().ok_or("quality stratum is not an object")?;
+        let sget = |key: &str| {
+            serde::find_field(sf, key).ok_or_else(|| format!("quality stratum missing {key:?}"))
+        };
+        strata.push(QualityStratum {
+            key: sget("key")?
+                .as_str()
+                .ok_or("quality stratum key is not a string")?
+                .to_string(),
+            requested: crate::meta::as_u64(sget("requested")?)?,
+            candidates: crate::meta::as_u64(sget("candidates")?)?,
+            sampled: crate::meta::as_u64(sget("sampled")?)?,
+            bias_z: as_f64(sget("bias_z")?)?,
+        });
+    }
+    Ok(QualityBlock {
+        strata,
+        max_abs_bias_z: as_f64(get("max_abs_bias_z")?)?,
+        starved_strata: crate::meta::as_u64(get("starved_strata")?)?,
+        optimality_gap,
+    })
+}
+
 /// Indent every line of `block` after the first by `indent`, so a
 /// pretty-printed subdocument embeds cleanly at depth 1.
 pub(crate) fn indent_after_first_line(block: &str, indent: &str) -> String {
@@ -341,6 +476,18 @@ mod tests {
                 reduce_us: 8.0,
             },
             metrics,
+            quality: QualityBlock {
+                strata: vec![QualityStratum {
+                    key: "sqe.s0".to_string(),
+                    requested: 10,
+                    candidates: 500,
+                    sampled: 10,
+                    bias_z: 0.0,
+                }],
+                max_abs_bias_z: 0.0,
+                starved_strata: 0,
+                optimality_gap: Some(0.05),
+            },
             records_json: "[\n  {\n    \"x\": 7\n  }\n]".to_string(),
         }
     }
@@ -357,6 +504,57 @@ mod tests {
         let ratio_at = json.find("cost_ratio.small").unwrap();
         let mqe_at = json.find("makespan_us.mqe").unwrap();
         assert!(ratio_at < mqe_at, "metrics must render sorted: {json}");
+    }
+
+    #[test]
+    fn quality_block_round_trips_and_tolerates_absence() {
+        let a = toy_artifact();
+        let json = a.to_json();
+        assert!(json.contains("\"quality\": {"), "{json}");
+        assert!(json.contains("\"optimality_gap\": 0.050000"), "{json}");
+        assert!(json.contains("\"key\": \"sqe.s0\""), "{json}");
+        // quality renders between metrics and records
+        let q_at = json.find("\"quality\"").unwrap();
+        assert!(json.find("\"metrics\"").unwrap() < q_at);
+        assert!(q_at < json.find("\"records\"").unwrap());
+        let back = BenchArtifact::from_json(&json).expect("parses");
+        assert_eq!(back.quality, a.quality);
+        // gap-less experiments render the gap as null and round-trip
+        let mut no_gap = a.clone();
+        no_gap.quality.optimality_gap = None;
+        let json2 = no_gap.to_json();
+        assert!(json2.contains("\"optimality_gap\": null"), "{json2}");
+        assert_eq!(
+            BenchArtifact::from_json(&json2).unwrap().quality,
+            no_gap.quality
+        );
+        // a pre-v2 artifact without the block still parses (default)
+        let start = json.find("  \"quality\"").unwrap();
+        let end = json.find("  \"records\"").unwrap();
+        let legacy = format!("{}{}", &json[..start], &json[end..]);
+        let parsed = BenchArtifact::from_json(&legacy).expect("legacy parses");
+        assert_eq!(parsed.quality, QualityBlock::default());
+    }
+
+    #[test]
+    fn quality_block_condenses_an_audit_report() {
+        let reg = stratmr_telemetry::Registry::new();
+        reg.add("sqe.s0.requested", 10);
+        reg.add("sqe.s0.candidates", 500);
+        reg.add("sqe.s0.sampled", 10);
+        reg.add("sqe.s0.rejected", 490);
+        reg.add("sqe.s1.requested", 5);
+        reg.add("sqe.s1.candidates", 100);
+        reg.add("sqe.s1.sampled", 0);
+        reg.add("sqe.s1.rejected", 100);
+        let report = stratmr_sampling::QualityReport::from_snapshot(&reg.snapshot());
+        let block = QualityBlock::from_report(&report, Some(0.1));
+        assert_eq!(block.strata.len(), 2);
+        assert_eq!(block.strata[0].key, "sqe.s0");
+        assert_eq!(block.strata[1].sampled, 0);
+        assert_eq!(block.starved_strata, 1, "s1 requested 5, sampled 0");
+        assert!(block.max_abs_bias_z > 0.0, "a starved stratum is biased");
+        assert_eq!(block.optimality_gap, Some(0.1));
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //! * the **task retry rate** is screened with the binomial acceptance
 //!   bound against the baseline rate.
 //!
+//! Schema v2 artifacts additionally carry a `quality` block, gated in
+//! [`quality_alerts`]: every current stratum's realized sampling
+//! fraction must stay within the binomial acceptance bound of its
+//! requested `f` (an absolute check — a biased sampler is broken no
+//! matter what the baseline did), the optimality gap can never be
+//! negative (the answer cost is an upper bound on the solver
+//! objective), and the gap must not inflate ≥ 20% over the baseline.
+//!
 //! Mismatched schema versions or scale configurations are an error
 //! (the caller exits 2), not a regression: comparing a pop=100 000 run
 //! against a pop=2 000 baseline would gate on nonsense.
@@ -118,6 +126,9 @@ pub struct ExperimentReport {
     pub stage_mix_drifted: bool,
     /// Binomial screen on the task retry rate, when it failed.
     pub retry_alert: Option<String>,
+    /// Sample-quality gate failures (realized-`f` bias, optimality-gap
+    /// regressions), empty when the quality block passes.
+    pub quality_alerts: Vec<String>,
     /// Metrics present in the baseline but missing now.
     pub missing_metrics: Vec<String>,
     /// Metrics new in the current set (informational).
@@ -161,6 +172,9 @@ impl CompareReport {
                 }
             }
             if let Some(alert) = &exp.retry_alert {
+                out.push((exp.experiment.clone(), alert.clone()));
+            }
+            for alert in &exp.quality_alerts {
                 out.push((exp.experiment.clone(), alert.clone()));
             }
             for m in &exp.missing_metrics {
@@ -369,9 +383,48 @@ fn compare_experiment(
         stage_moved,
         stage_mix_drifted,
         retry_alert,
+        quality_alerts: quality_alerts(base, cur, opts.z_crit),
         missing_metrics: missing,
         new_metrics,
     }
+}
+
+/// Gate the v2 `quality` block (see module docs): realized-`f` bias
+/// beyond the binomial bound at `z`, a negative optimality gap, or a
+/// gap inflated ≥ 20% over the baseline.
+fn quality_alerts(base: &BenchArtifact, cur: &BenchArtifact, z: f64) -> Vec<String> {
+    let mut alerts = Vec::new();
+    for s in &cur.quality.strata {
+        if s.candidates == 0 {
+            continue;
+        }
+        let p = (s.requested as f64 / s.candidates as f64).min(1.0);
+        if !binomial_within_bound(s.sampled, s.candidates, p, z) {
+            alerts.push(format!(
+                "quality: stratum {}: realized f {}/{} deviates from requested {} beyond \
+                 the binomial bound (bias z={:+.2})",
+                s.key, s.sampled, s.candidates, s.requested, s.bias_z
+            ));
+        }
+    }
+    if let Some(cur_gap) = cur.quality.optimality_gap {
+        if cur_gap < -1e-9 {
+            alerts.push(format!(
+                "quality: optimality gap is negative ({cur_gap:.6}) — \
+                 answer cost fell below the solver objective"
+            ));
+        }
+        if let Some(base_gap) = base.quality.optimality_gap {
+            if cur_gap > base_gap.max(1e-9) * 1.2 && cur_gap - base_gap > 1e-6 {
+                alerts.push(format!(
+                    "quality: optimality gap inflated {:.3}% → {:.3}% (≥ 20% over baseline)",
+                    100.0 * base_gap,
+                    100.0 * cur_gap
+                ));
+            }
+        }
+    }
+    alerts
 }
 
 fn judge_metric(
@@ -470,7 +523,7 @@ fn fmt_value(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::artifact::{MetricSeries, StageTotals};
+    use crate::artifact::{MetricSeries, QualityBlock, QualityStratum, StageTotals};
     use crate::env::BenchConfig;
     use crate::meta::ArtifactMeta;
 
@@ -487,6 +540,7 @@ mod tests {
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
+            quality: QualityBlock::default(),
             records_json: "[]".to_string(),
         }
     }
@@ -618,6 +672,70 @@ mod tests {
         let regs = report.regressions();
         assert_eq!(regs.len(), 1);
         assert!(regs[0].1.contains("disappeared"), "{regs:?}");
+    }
+
+    fn quality(strata: &[(&str, u64, u64, u64)], gap: Option<f64>) -> QualityBlock {
+        QualityBlock {
+            strata: strata
+                .iter()
+                .map(|&(key, requested, candidates, sampled)| QualityStratum {
+                    key: key.to_string(),
+                    requested,
+                    candidates,
+                    sampled,
+                    bias_z: 0.0,
+                })
+                .collect(),
+            max_abs_bias_z: 0.0,
+            starved_strata: 0,
+            optimality_gap: gap,
+        }
+    }
+
+    #[test]
+    fn realized_f_beyond_binomial_bound_regresses() {
+        let mut base = artifact("optimality", &[]);
+        base.quality = quality(&[("cps.combined.s0", 100, 1000, 100)], Some(0.02));
+        let mut ok = base.clone();
+        ok.quality = quality(&[("cps.combined.s0", 100, 1000, 103)], Some(0.02));
+        let opts = CompareOpts::default();
+        assert!(!compare(std::slice::from_ref(&base), &[ok], &opts)
+            .unwrap()
+            .has_regressions());
+        // a sampler that keeps twice the requested f is broken
+        let mut biased = base.clone();
+        biased.quality = quality(&[("cps.combined.s0", 100, 1000, 200)], Some(0.02));
+        let report = compare(&[base], &[biased], &opts).unwrap();
+        let regs = report.regressions();
+        assert!(
+            regs.iter().any(|(_, d)| d.contains("binomial bound")),
+            "{regs:?}"
+        );
+    }
+
+    #[test]
+    fn optimality_gap_gates_on_sign_and_inflation() {
+        let mut base = artifact("optimality", &[]);
+        base.quality = quality(&[], Some(0.020));
+        let opts = CompareOpts::default();
+        // small wobble under the 20% fence: fine
+        let mut wobble = base.clone();
+        wobble.quality.optimality_gap = Some(0.023);
+        assert!(!compare(std::slice::from_ref(&base), &[wobble], &opts)
+            .unwrap()
+            .has_regressions());
+        // ≥ 20% inflation: regression
+        let mut inflated = base.clone();
+        inflated.quality.optimality_gap = Some(0.030);
+        let regs = compare(std::slice::from_ref(&base), &[inflated], &opts)
+            .unwrap()
+            .regressions();
+        assert!(regs.iter().any(|(_, d)| d.contains("inflated")), "{regs:?}");
+        // a negative gap means the invariant C_sol ≤ C_A broke
+        let mut negative = base.clone();
+        negative.quality.optimality_gap = Some(-0.01);
+        let regs = compare(&[base], &[negative], &opts).unwrap().regressions();
+        assert!(regs.iter().any(|(_, d)| d.contains("negative")), "{regs:?}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! plus the [`CliArgs`] flag parsing every bench binary shares.
 
 use crate::experiments::{ExpOutput, Obs};
+use crate::explain::{self, ExplainFile};
 use crate::meta::ArtifactMeta;
 use crate::report;
 use crate::telemetry::{self, TelemetrySink, TraceFile};
@@ -124,19 +125,23 @@ impl BenchEnv {
 }
 
 /// The command-line flags shared by every bench binary, parsed once:
-/// `--telemetry <out.json>`, `--trace <out.json>` and `--uniform`.
+/// `--telemetry <out.json>`, `--trace <out.json>`, `--explain
+/// <out.json>` and `--uniform`.
 ///
 /// A binary's `main` is then three steps — parse, run the experiment
 /// from [`crate::experiments`] with [`CliArgs::obs`], and
 /// [`CliArgs::finish`] — so flag handling and the JSON write path
 /// (records, telemetry, trace, each stamped with the common
-/// [`ArtifactMeta`] header) exist exactly once.
+/// [`ArtifactMeta`] header) exist exactly once. CPS-capable binaries
+/// additionally call [`CliArgs::finish_explain`] to honor `--explain`.
 #[derive(Default)]
 pub struct CliArgs {
     /// `--telemetry <out.json>`: registry + output path.
     pub telemetry: Option<TelemetrySink>,
     /// `--trace <out.json>`: trace sink + output path.
     pub trace: Option<TraceFile>,
+    /// `--explain <out.json>`: plan-EXPLAIN + quality-audit output path.
+    pub explain: Option<ExplainFile>,
     /// `--uniform`: use the §6.2.1 uniform synthetic dataset.
     pub uniform: bool,
 }
@@ -147,8 +152,28 @@ impl CliArgs {
         CliArgs {
             telemetry: telemetry::from_args(),
             trace: telemetry::trace_from_args(),
+            explain: explain::from_args(),
             uniform: std::env::args().any(|a| a == "--uniform"),
         }
+    }
+
+    /// Honor `--explain` on a CPS-capable binary: run the standard
+    /// explain group with `solver` and write the `{meta, plan, quality}`
+    /// artifact, stamped as experiment `name`. No-op without the flag —
+    /// the explain run costs one extra CPS solve, so it only happens
+    /// when asked for.
+    pub fn finish_explain(
+        &mut self,
+        name: &str,
+        env: &BenchEnv,
+        solver: stratmr_sampling::CpsConfig,
+    ) {
+        let Some(file) = self.explain.take() else {
+            return;
+        };
+        let meta = ArtifactMeta::capture(name, DATA_SEED, &env.config);
+        let out = explain::run_explain(env, solver, &meta);
+        explain::finish(Some(file), &out);
     }
 
     /// Build the experiment environment from `STRATMR_*` variables plus

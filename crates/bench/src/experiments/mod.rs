@@ -28,7 +28,7 @@ pub mod robustness;
 pub mod table1;
 pub mod table2;
 
-use crate::artifact::{BenchArtifact, MetricSeries, StageTotals};
+use crate::artifact::{BenchArtifact, MetricSeries, QualityBlock, StageTotals};
 use crate::env::{BenchEnv, DATA_SEED};
 use crate::meta::ArtifactMeta;
 use std::collections::BTreeMap;
@@ -141,7 +141,8 @@ pub const ALL: &[Experiment] = &[
 /// Run one experiment in suite mode and assemble its `BENCH_*.json`
 /// artifact: metrics from the run, `counter.*` metrics from the fresh
 /// telemetry registry, critical-path stage totals from the trace sink,
-/// and records with host-dependent fields stripped (wall-clock values
+/// the `quality` block condensed from the sampling audit ledger, and
+/// records with host-dependent fields stripped (wall-clock values
 /// never enter the artifact — that is what keeps it byte-stable).
 pub fn run_to_artifact(
     exp: &Experiment,
@@ -151,23 +152,41 @@ pub fn run_to_artifact(
     let obs = Obs::full();
     let out = (exp.run)(env, &obs);
     let trace = obs.trace.as_ref().expect("suite mode traces");
+    let snapshot = obs
+        .registry
+        .as_ref()
+        .expect("suite mode registry")
+        .snapshot();
+    let report = stratmr_sampling::QualityReport::from_snapshot(&snapshot);
     let mut artifact = BenchArtifact {
         meta,
         stages: StageTotals::from_traces(&trace.jobs()),
         metrics: out.metrics.clone(),
+        quality: QualityBlock::from_report(&report, mean_optimality_gap(&out.metrics)),
         records_json: strip_host_fields_from_records(&out.records_json),
     };
     artifact.metrics.insert(
         "trace.jobs".to_string(),
         MetricSeries::single("count", trace.len() as f64),
     );
-    artifact.add_counters(
-        &obs.registry
-            .as_ref()
-            .expect("suite mode registry")
-            .snapshot(),
-    );
+    artifact.add_counters(&snapshot);
     (out, artifact)
+}
+
+/// The experiment's mean relative optimality gap: the mean over every
+/// `gap_fraction.*` metric's samples, `None` when the experiment solved
+/// no constraint programs (no such metric emitted).
+fn mean_optimality_gap(metrics: &BTreeMap<String, MetricSeries>) -> Option<f64> {
+    let gaps: Vec<f64> = metrics
+        .iter()
+        .filter(|(name, _)| name.starts_with("gap_fraction."))
+        .flat_map(|(_, series)| series.samples.iter().copied())
+        .collect();
+    if gaps.is_empty() {
+        None
+    } else {
+        Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+    }
 }
 
 /// [`run_to_artifact`] with a freshly captured meta header.

@@ -34,11 +34,12 @@ pub mod artifact;
 pub mod compare;
 pub mod env;
 pub mod experiments;
+pub mod explain;
 pub mod meta;
 pub mod report;
 pub mod telemetry;
 
-pub use artifact::{BenchArtifact, MetricSeries, StageTotals};
+pub use artifact::{BenchArtifact, MetricSeries, QualityBlock, QualityStratum, StageTotals};
 pub use env::{BenchConfig, BenchEnv, CliArgs};
 pub use meta::{ArtifactMeta, SCHEMA_VERSION};
 pub use report::{fmt_duration_s, Table};

@@ -15,7 +15,10 @@ use std::fmt::Write as _;
 /// Version of the benchmark artifact schema. Bump on any change to the
 /// key layout of `BENCH_*.json` (see DESIGN.md, "Schema versioning");
 /// `bench_compare` refuses to diff artifacts of different versions.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: every artifact embeds a `quality` block (per-stratum sampling
+/// audit + optimality gap) between `metrics` and `records`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The self-describing header (see module docs).
 #[derive(Clone, Debug, PartialEq)]
@@ -251,7 +254,10 @@ mod tests {
     fn meta_json_round_trips_through_the_parser() {
         let meta = ArtifactMeta::fixed_for_tests("fig7", 0xDB1F, &BenchConfig::default());
         let json = meta.to_json();
-        assert!(json.starts_with("{\"schema_version\": 1"), "{json}");
+        assert!(
+            json.starts_with(&format!("{{\"schema_version\": {SCHEMA_VERSION}")),
+            "{json}"
+        );
         assert!(!json.contains('\n'), "meta must be single-line: {json}");
         let value = serde_json::parse_value_str(&json).expect("meta parses");
         let back = ArtifactMeta::from_value(&value).expect("meta round-trips");

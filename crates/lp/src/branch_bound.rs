@@ -19,7 +19,7 @@ const INT_TOL: f64 = 1e-6;
 const MAX_NODES: usize = 200_000;
 
 /// Search-effort counts of one branch-and-bound solve.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BranchBoundStats {
     /// Nodes popped from the search stack (including pruned ones).
     pub nodes: u64,
@@ -27,6 +27,10 @@ pub struct BranchBoundStats {
     pub lp_relaxations: u64,
     /// Simplex pivots summed over all relaxations.
     pub pivots: u64,
+    /// Objective of the root LP relaxation — the lower bound `C_LP`.
+    /// The integral optimum minus this value is the optimality gap the
+    /// plan EXPLAIN reports.
+    pub root_relaxation: f64,
 }
 
 /// Solve `problem` with **all** variables restricted to non-negative
@@ -40,6 +44,15 @@ pub fn solve_ip(problem: &Problem) -> Result<Solution, LpError> {
 /// `ip.lp_relaxations`, `ip.pivots` and `ip.errors` counters and times
 /// the solve under an `ip.solve` span.
 pub fn solve_ip_traced(problem: &Problem, registry: &Registry) -> Result<Solution, LpError> {
+    solve_ip_traced_counted(problem, registry).map(|(s, _)| s)
+}
+
+/// [`solve_ip_traced`], also returning the search-effort counts — one
+/// call that feeds both the telemetry registry and an explain capture.
+pub fn solve_ip_traced_counted(
+    problem: &Problem,
+    registry: &Registry,
+) -> Result<(Solution, BranchBoundStats), LpError> {
     let _span = registry.span("ip.solve");
     match solve_ip_counted(problem) {
         Ok((solution, stats)) => {
@@ -49,7 +62,7 @@ pub fn solve_ip_traced(problem: &Problem, registry: &Registry) -> Result<Solutio
                 .counter("ip.lp_relaxations")
                 .add(stats.lp_relaxations);
             registry.counter("ip.pivots").add(stats.pivots);
-            Ok(solution)
+            Ok((solution, stats))
         }
         Err(e) => {
             registry.counter("ip.errors").inc();
@@ -72,6 +85,7 @@ pub fn solve_ip_counted(problem: &Problem) -> Result<(Solution, BranchBoundStats
     let (root_relax, root_pivots) = solve_lp_counted(problem)?;
     stats.lp_relaxations = 1;
     stats.pivots = root_pivots.pivots();
+    stats.root_relaxation = root_relax.objective;
     let mut incumbent: Option<Solution> = None;
     let mut stack = vec![Node {
         extra: Vec::new(),
@@ -264,6 +278,10 @@ mod tests {
         assert!(stats.nodes >= 2, "fractional root must branch: {stats:?}");
         assert!(stats.lp_relaxations > stats.nodes / 2);
         assert!(stats.pivots > 0);
+        // the root relaxation is the fractional vertex-cover bound 1.5,
+        // strictly below the integral optimum — a positive root gap
+        assert_close(stats.root_relaxation, 1.5);
+        assert!(stats.root_relaxation <= s.objective + 1e-9);
     }
 
     #[test]

@@ -107,6 +107,23 @@ impl Problem {
             }
         })
     }
+
+    /// The constraints that hold with equality at `x` (within `tol`) —
+    /// the active set of a solution. Equality constraints are binding
+    /// whenever satisfied; an inequality is binding when the point sits
+    /// on its boundary. Used by the plan EXPLAIN to show which limits
+    /// actually shaped the optimum.
+    pub fn binding_constraints(&self, x: &[f64], tol: f64) -> Vec<usize> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                let lhs: f64 = c.coeffs.iter().map(|&(v, a)| a * x[v]).sum();
+                (lhs - c.rhs).abs() <= tol
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
 }
 
 /// A solved program.
@@ -178,5 +195,17 @@ mod tests {
     fn constraint_on_unknown_var_rejected() {
         let mut p = Problem::new();
         p.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn binding_constraints_report_the_active_set() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0); // slack at (1,2)
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.0); // binding at x = 1
+        p.add_constraint(vec![(y, 1.0)], Relation::Eq, 2.0); // always binding
+        assert_eq!(p.binding_constraints(&[1.0, 2.0], 1e-9), vec![1, 2]);
+        assert_eq!(p.binding_constraints(&[2.0, 2.0], 1e-9), vec![0, 2]);
     }
 }

@@ -48,6 +48,15 @@ pub fn solve_lp_counted(problem: &Problem) -> Result<(Solution, SimplexStats), L
 /// times the solve under an `lp.solve` span (nested under whatever span
 /// the caller holds open).
 pub fn solve_lp_traced(problem: &Problem, registry: &Registry) -> Result<Solution, LpError> {
+    solve_lp_traced_counted(problem, registry).map(|(s, _)| s)
+}
+
+/// [`solve_lp_traced`], also returning the pivot counts — one call that
+/// feeds both the telemetry registry and an explain capture.
+pub fn solve_lp_traced_counted(
+    problem: &Problem,
+    registry: &Registry,
+) -> Result<(Solution, SimplexStats), LpError> {
     let _span = registry.span("lp.solve");
     match solve_lp_counted(problem) {
         Ok((solution, stats)) => {
@@ -59,7 +68,7 @@ pub fn solve_lp_traced(problem: &Problem, registry: &Registry) -> Result<Solutio
             registry
                 .counter("lp.pivots.phase2")
                 .add(stats.phase2_pivots);
-            Ok(solution)
+            Ok((solution, stats))
         }
         Err(e) => {
             registry.counter("lp.errors").inc();

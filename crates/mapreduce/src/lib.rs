@@ -51,4 +51,4 @@ pub use cost::{CostConfig, SimTime};
 pub use driver::JobLog;
 pub use job::{CombineJob, Emitter, Job, TaskCtx};
 pub use split::{make_splits, InputSplit};
-pub use stratmr_telemetry::{JobTrace, TraceEvent, TracePhase, TraceSink};
+pub use stratmr_telemetry::{JobTrace, Registry, TraceEvent, TracePhase, TraceSink};

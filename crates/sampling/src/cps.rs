@@ -21,6 +21,7 @@
 //! single-program formulation is available for cross-checking
 //! (DESIGN.md, substitution 4).
 
+use crate::audit::{escape_json, write_json_f64};
 use crate::limits::stratum_selection_limits;
 use crate::mqe::mr_mqe_on_splits;
 use crate::obs::StratumCounters;
@@ -30,9 +31,11 @@ use crate::unified::{unified_sampler, IntermediateSample};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
 use std::time::Instant;
 use stratmr_lp::{
-    solve_ip, solve_ip_traced, solve_lp, solve_lp_traced, LpError, Problem, Relation,
+    solve_ip_counted, solve_ip_traced_counted, solve_lp_counted, solve_lp_traced_counted,
+    BranchBoundStats, LpError, Problem, Relation, SimplexStats, Solution,
 };
 use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobStats, TaskCtx};
 use stratmr_population::{DistributedDataset, Individual};
@@ -133,6 +136,366 @@ struct SigmaPlan {
     total: u64,
 }
 
+/// One relevant stratum selection σ in the EXPLAIN: its limit `L(σ)` and
+/// the positive selection frequencies `F(A_i, σ)` per survey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionExplain {
+    /// Rendered selection, e.g. `⟨s1,0,·⟩`.
+    pub selection: String,
+    /// The limit `L(σ)` from the Figure 4 counting job.
+    pub limit: u64,
+    /// `(survey, F(A_i, σ))` pairs with positive frequency, ascending.
+    pub frequencies: Vec<(usize, u64)>,
+}
+
+/// One decision variable `X_τ(σ)` of a solved program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableExplain {
+    /// The survey set τ, as ascending survey indexes.
+    pub surveys: Vec<usize>,
+    /// Objective coefficient `cost(τ)`.
+    pub cost: f64,
+    /// Solver value `X_τ(σ)` (fractional on the LP path).
+    pub value: f64,
+    /// The integral allocation after rounding (floor+ε on LP, round on
+    /// IP) — what step 4 actually samples.
+    pub allocation: u64,
+}
+
+/// One solved Figure 3 (sub)program: its variables, the constraints that
+/// were binding at the optimum, and the search effort spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramExplain {
+    /// The selection the block solves, or `"joint"` for the single-
+    /// program formulation.
+    pub selection: String,
+    /// Optimal objective of this (sub)program.
+    pub objective: f64,
+    /// Objective of the (root) LP relaxation — equal to `objective` on
+    /// the LP path, the branch-and-bound lower bound on IP.
+    pub root_relaxation: f64,
+    /// Simplex pivots spent (summed over relaxations on IP).
+    pub pivots: u64,
+    /// Branch-and-bound nodes expanded (0 on the LP path).
+    pub nodes: u64,
+    /// LP relaxations solved (1 on the LP path).
+    pub lp_relaxations: u64,
+    /// Indexes of constraints that hold with equality at the optimum.
+    pub binding_constraints: Vec<usize>,
+    /// Every decision variable with its value and rounded allocation.
+    pub variables: Vec<VariableExplain>,
+}
+
+/// One edge of the sharing graph: how many sampled individuals serve
+/// both surveys, and what the pairing saves against separate sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharingEdge {
+    /// The survey pair `(i, j)`, `i < j`.
+    pub surveys: (usize, usize),
+    /// Individuals in the answer whose survey set contains both.
+    pub shared: u64,
+    /// `cost({i, j})` under the query's cost model.
+    pub pair_cost: f64,
+    /// `cost({i}) + cost({j}) − cost({i, j})` — the per-individual
+    /// saving realized by sharing (negative when sharing is penalized).
+    pub savings: f64,
+}
+
+/// Cost attribution for one survey: each sampled individual's `cost(τ)`
+/// split evenly across the surveys in its τ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyCost {
+    /// Survey index.
+    pub survey: usize,
+    /// Individuals in the survey's answer.
+    pub individuals: usize,
+    /// The survey's even-split share of the total cost.
+    pub attributed_cost: f64,
+}
+
+/// One residual top-up round: the deficit entering the round and how
+/// many selections it recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidualRoundExplain {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Total outstanding `(query, σ)` deficit entering the round.
+    pub deficit: u64,
+    /// Selections added by the round.
+    pub added: u64,
+}
+
+/// The full EXPLAIN of a CPS / MR-CPS run: strata universe, solved
+/// programs, sharing graph, cost attribution, residual breakdown and the
+/// optimality gap. Rendered as deterministic sorted-key JSON
+/// ([`PlanExplain::to_json`]) or an aligned text report
+/// ([`PlanExplain::render_text`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExplain {
+    /// `"lp"` (MR-CPS) or `"ip"` (exact CPS).
+    pub solver: String,
+    /// Whether the joint single-program formulation was used.
+    pub joint: bool,
+    /// The relevant selections with limits and frequencies.
+    pub selections: Vec<SelectionExplain>,
+    /// The solved (sub)programs, in selection order (one entry named
+    /// `"joint"` under the joint formulation).
+    pub programs: Vec<ProgramExplain>,
+    /// Sharing graph over the realized answer (pairs with `shared > 0`).
+    pub sharing: Vec<SharingEdge>,
+    /// Per-survey cost attribution over the realized answer.
+    pub survey_costs: Vec<SurveyCost>,
+    /// Residual-round breakdown.
+    pub residual_rounds: Vec<ResidualRoundExplain>,
+    /// Individuals added by the residual phase.
+    pub residual_selections: usize,
+    /// Objective of the solved program(s) — `C_LP` or `C_IP`.
+    pub solver_objective: f64,
+    /// Realized cost `C_A` of the answer.
+    pub realized_cost: f64,
+    /// Decision variables across the program(s).
+    pub variables: usize,
+    /// Constraints across the program(s).
+    pub constraints: usize,
+}
+
+impl PlanExplain {
+    /// Relative optimality gap `max(0, (C_A − C_sol) / C_A)`.
+    ///
+    /// Non-negative by construction (`C_LP ≤ C_IP ≤ C_A`); exactly zero
+    /// when the realized cost matches the solver objective to within
+    /// 1e-9, which the exact IP configuration always achieves.
+    pub fn optimality_gap(&self) -> f64 {
+        let diff = self.realized_cost - self.solver_objective;
+        if diff.abs() <= 1e-9 {
+            return 0.0;
+        }
+        (diff / self.realized_cost.max(1e-9)).max(0.0)
+    }
+
+    /// Render as deterministic JSON: alphabetical keys at every level,
+    /// fixed six-decimal floats (`null` when non-finite) — byte-identical
+    /// across runs at a fixed seed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = write!(
+            out,
+            "  \"constraints\": {},\n  \"joint\": {},\n  \"optimality_gap\": ",
+            self.constraints, self.joint
+        );
+        write_json_f64(&mut out, self.optimality_gap());
+        out.push_str(",\n  \"programs\": [");
+        for (i, p) in self.programs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let binding: Vec<String> = p.binding_constraints.iter().map(usize::to_string).collect();
+            let _ = write!(
+                out,
+                "    {{\"binding_constraints\": [{}], \"lp_relaxations\": {}, \"nodes\": {}, \"objective\": ",
+                binding.join(", "),
+                p.lp_relaxations,
+                p.nodes
+            );
+            write_json_f64(&mut out, p.objective);
+            let _ = write!(out, ", \"pivots\": {}, \"root_relaxation\": ", p.pivots);
+            write_json_f64(&mut out, p.root_relaxation);
+            let _ = write!(
+                out,
+                ", \"selection\": \"{}\", \"variables\": [",
+                escape_json(&p.selection)
+            );
+            for (j, v) in p.variables.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{{\"allocation\": {}, \"cost\": ", v.allocation);
+                write_json_f64(&mut out, v.cost);
+                let surveys: Vec<String> = v.surveys.iter().map(usize::to_string).collect();
+                let _ = write!(out, ", \"surveys\": [{}], \"value\": ", surveys.join(", "));
+                write_json_f64(&mut out, v.value);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        if !self.programs.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"realized_cost\": ");
+        write_json_f64(&mut out, self.realized_cost);
+        out.push_str(",\n  \"residual_rounds\": [");
+        for (i, r) in self.residual_rounds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"added\": {}, \"deficit\": {}, \"round\": {}}}",
+                r.added, r.deficit, r.round
+            );
+        }
+        let _ = write!(
+            out,
+            "],\n  \"residual_selections\": {},\n  \"selections\": [",
+            self.residual_selections
+        );
+        for (i, s) in self.selections.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let freqs: Vec<String> = s
+                .frequencies
+                .iter()
+                .map(|&(q, f)| format!("[{q}, {f}]"))
+                .collect();
+            let _ = write!(
+                out,
+                "    {{\"frequencies\": [{}], \"limit\": {}, \"selection\": \"{}\"}}",
+                freqs.join(", "),
+                s.limit,
+                escape_json(&s.selection)
+            );
+        }
+        if !self.selections.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"sharing\": [");
+        for (i, e) in self.sharing.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"pair_cost\": ");
+            write_json_f64(&mut out, e.pair_cost);
+            out.push_str(", \"savings\": ");
+            write_json_f64(&mut out, e.savings);
+            let _ = write!(
+                out,
+                ", \"shared\": {}, \"surveys\": [{}, {}]}}",
+                e.shared, e.surveys.0, e.surveys.1
+            );
+        }
+        if !self.sharing.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"solver\": \"{}\",\n  \"solver_objective\": ",
+            escape_json(&self.solver)
+        );
+        write_json_f64(&mut out, self.solver_objective);
+        out.push_str(",\n  \"survey_costs\": [");
+        for (i, c) in self.survey_costs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"attributed_cost\": ");
+            write_json_f64(&mut out, c.attributed_cost);
+            let _ = write!(
+                out,
+                ", \"individuals\": {}, \"survey\": {}}}",
+                c.individuals, c.survey
+            );
+        }
+        let _ = write!(out, "],\n  \"variables\": {}\n}}\n", self.variables);
+        out
+    }
+
+    /// Render as an aligned text report (headline numbers, then one
+    /// section per EXPLAIN dimension), mirroring the conventions of
+    /// `Snapshot::render_text`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan explain ({} solver, {} formulation):",
+            self.solver,
+            if self.joint { "joint" } else { "blockwise" }
+        );
+        let _ = writeln!(out, "  solver objective  {:>12.4}", self.solver_objective);
+        let _ = writeln!(out, "  realized cost     {:>12.4}", self.realized_cost);
+        let _ = writeln!(
+            out,
+            "  optimality gap    {:>11.3}%",
+            self.optimality_gap() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  program size      {} variables, {} constraints over {} selections",
+            self.variables,
+            self.constraints,
+            self.selections.len()
+        );
+        if !self.selections.is_empty() {
+            out.push_str("selections:\n");
+            let w = self
+                .selections
+                .iter()
+                .map(|s| s.selection.chars().count())
+                .max()
+                .unwrap_or(0);
+            for s in &self.selections {
+                let freqs: Vec<String> = s
+                    .frequencies
+                    .iter()
+                    .map(|&(q, f)| format!("q{q}={f}"))
+                    .collect();
+                let pad = w.saturating_sub(s.selection.chars().count());
+                let _ = writeln!(
+                    out,
+                    "  {}{}  limit {:>6}  F: {}",
+                    s.selection,
+                    " ".repeat(pad),
+                    s.limit,
+                    freqs.join(" ")
+                );
+            }
+        }
+        if !self.programs.is_empty() {
+            out.push_str("programs:\n");
+            for p in &self.programs {
+                let binding: Vec<String> =
+                    p.binding_constraints.iter().map(usize::to_string).collect();
+                let _ = writeln!(
+                    out,
+                    "  {}  objective {:.4}  relaxation {:.4}  pivots {}  nodes {}  binding [{}]",
+                    p.selection,
+                    p.objective,
+                    p.root_relaxation,
+                    p.pivots,
+                    p.nodes,
+                    binding.join(",")
+                );
+            }
+        }
+        if !self.sharing.is_empty() {
+            out.push_str("sharing:\n");
+            for e in &self.sharing {
+                let _ = writeln!(
+                    out,
+                    "  surveys ({}, {})  shared {:>6}  pair_cost {:.4}  savings {:.4}",
+                    e.surveys.0, e.surveys.1, e.shared, e.pair_cost, e.savings
+                );
+            }
+        }
+        if !self.survey_costs.is_empty() {
+            out.push_str("survey costs:\n");
+            for c in &self.survey_costs {
+                let _ = writeln!(
+                    out,
+                    "  q{}  {:>6} individuals  attributed {:.4}",
+                    c.survey, c.individuals, c.attributed_cost
+                );
+            }
+        }
+        if !self.residual_rounds.is_empty() {
+            out.push_str("residual rounds:\n");
+            for r in &self.residual_rounds {
+                let _ = writeln!(
+                    out,
+                    "  #{}  deficit {:>6}  added {:>6}",
+                    r.round, r.deficit, r.added
+                );
+            }
+        }
+        out
+    }
+}
+
 /// Run CPS / MR-CPS over a distributed dataset.
 pub fn mr_cps(
     cluster: &Cluster,
@@ -158,6 +521,51 @@ pub fn mr_cps_on_splits(
     config: CpsConfig,
     seed: u64,
 ) -> Result<CpsRun, LpError> {
+    mr_cps_inner(cluster, splits, mssd, config, seed, false).map(|(run, _)| run)
+}
+
+/// Run CPS / MR-CPS over a distributed dataset, also capturing a full
+/// [`PlanExplain`] — the strata universe, the solved programs, the
+/// sharing graph, cost attribution and the residual-round breakdown.
+pub fn mr_cps_explain(
+    cluster: &Cluster,
+    data: &DistributedDataset,
+    mssd: &MssdQuery,
+    config: CpsConfig,
+    seed: u64,
+) -> Result<(CpsRun, PlanExplain), LpError> {
+    mr_cps_explain_on_splits(
+        cluster,
+        &crate::input::to_input_splits(data),
+        mssd,
+        config,
+        seed,
+    )
+}
+
+/// [`mr_cps_explain`] on pre-built input splits.
+pub fn mr_cps_explain_on_splits(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    mssd: &MssdQuery,
+    config: CpsConfig,
+    seed: u64,
+) -> Result<(CpsRun, PlanExplain), LpError> {
+    mr_cps_inner(cluster, splits, mssd, config, seed, true)
+        .map(|(run, explain)| (run, explain.expect("explain capture was requested")))
+}
+
+/// The shared CPS pipeline; `capture` switches the EXPLAIN bookkeeping
+/// on. Capturing changes no decision the pipeline makes — answers are
+/// byte-identical with and without it.
+fn mr_cps_inner(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    mssd: &MssdQuery,
+    config: CpsConfig,
+    seed: u64,
+    capture: bool,
+) -> Result<(CpsRun, Option<PlanExplain>), LpError> {
     let queries = mssd.queries();
     let n = queries.len();
     let mut phase_stats = Vec::new();
@@ -212,13 +620,35 @@ pub fn mr_cps_on_splits(
     };
     phase_stats.push(("selection limits".to_string(), limit_stats));
 
+    // EXPLAIN: the strata universe — every relevant σ with its limit and
+    // per-survey selection frequencies
+    let selections_explain: Vec<SelectionExplain> = if capture {
+        relevant
+            .iter()
+            .map(|sel| SelectionExplain {
+                selection: sel.to_string(),
+                limit: limits.get(sel).copied().unwrap_or(0),
+                frequencies: (0..n)
+                    .filter_map(|i| {
+                        let f = freq[i].get(sel).copied().unwrap_or(0);
+                        (f > 0).then_some((i, f))
+                    })
+                    .collect(),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     // ---- step 3: formulate & solve the Figure 3 program ----------------
     let mut timings = CpsTimings::default();
     let mut variables = 0usize;
     let mut constraints = 0usize;
     let mut solver_objective = 0.0f64;
+    let mut programs: Vec<ProgramExplain> = Vec::new();
     let plans: Vec<SigmaPlan> = {
         let _s = tel.map(|t| t.span("solve"));
+        let explain = capture.then_some(&mut programs);
         if config.joint_formulation {
             solve_joint(
                 &relevant,
@@ -231,6 +661,7 @@ pub fn mr_cps_on_splits(
                 &mut variables,
                 &mut constraints,
                 &mut solver_objective,
+                explain,
             )?
         } else {
             solve_blockwise(
@@ -244,6 +675,7 @@ pub fn mr_cps_on_splits(
                 &mut variables,
                 &mut constraints,
                 &mut solver_objective,
+                explain,
             )?
         }
     };
@@ -267,11 +699,18 @@ pub fn mr_cps_on_splits(
         .map(|(k, p)| (p.sel.clone(), k))
         .collect();
     let combined_freqs: Vec<usize> = active.iter().map(|p| p.total as usize).collect();
+    let combined_counters =
+        tel.map(|t| StratumCounters::per_stratum(t, "cps.combined", active.len()));
+    if let Some(c) = &combined_counters {
+        for (k, &f) in combined_freqs.iter().enumerate() {
+            c.request(k, f as u64);
+        }
+    }
     let combined_job = CombinedSqeJob {
         queries,
         index: &sigma_index,
         freqs: &combined_freqs,
-        counters: tel.map(|t| StratumCounters::per_stratum(t, "cps.combined", active.len())),
+        counters: combined_counters,
     };
     let combined = {
         let _s = tel.map(|t| t.span("combined_sqe"));
@@ -309,6 +748,7 @@ pub fn mr_cps_on_splits(
     // excluded per query; like the combined job, tuples are matched by
     // σ(t) lookup instead of re-evaluating ϕ(σ).
     let mut residual_selections = 0usize;
+    let mut residual_rounds: Vec<ResidualRoundExplain> = Vec::new();
     for round in 0..config.max_residual_rounds {
         // deficits per (i, σ)
         let mut needed: HashMap<(usize, StratumSelection), usize> = HashMap::new();
@@ -329,11 +769,16 @@ pub fn mr_cps_on_splits(
             .iter()
             .map(|a| a.iter().map(|t| t.id).collect())
             .collect();
+        let deficit: u64 = needed.values().map(|&v| v as u64).sum();
+        let residual_counters = tel.map(|t| StratumCounters::aggregate(t, "cps.residual"));
+        if let Some(c) = &residual_counters {
+            c.request(0, deficit);
+        }
         let residual_job = ResidualMqeJob {
             queries,
             needed: &needed,
             exclusions: &exclusions,
-            counters: tel.map(|t| StratumCounters::aggregate(t, "cps.residual")),
+            counters: residual_counters,
         };
         let residual = {
             let _s = tel.map(|t| t.span("residual"));
@@ -355,6 +800,13 @@ pub fn mr_cps_on_splits(
             }
         }
         residual_selections += added_this_round;
+        if capture {
+            residual_rounds.push(ResidualRoundExplain {
+                round,
+                deficit,
+                added: added_this_round as u64,
+            });
+        }
         if added_this_round == 0 {
             // pool dry (cannot happen when the limits are consistent);
             // avoid spinning
@@ -368,17 +820,84 @@ pub fn mr_cps_on_splits(
     }
     let answer = MssdAnswer::new(star);
     let cost = answer.cost(mssd.costs());
-    Ok(CpsRun {
-        answer,
-        cost,
-        solver_objective,
-        residual_selections,
-        variables,
-        constraints,
-        relevant_selections: relevant.len(),
-        timings,
-        phase_stats,
-    })
+    let explain = if capture {
+        let costs = mssd.costs();
+        // sharing graph + cost attribution from the realized answer,
+        // walked in sorted-id order so f64 sums are byte-deterministic
+        let sets = answer.survey_sets();
+        let mut ids: Vec<u64> = sets.keys().copied().collect();
+        ids.sort_unstable();
+        let mut sharing = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let shared = ids
+                    .iter()
+                    .filter(|&&id| sets[&id].contains(i) && sets[&id].contains(j))
+                    .count() as u64;
+                if shared == 0 {
+                    continue;
+                }
+                let pair = SurveySet::from_iter([i, j]);
+                let apart =
+                    costs.cost(SurveySet::singleton(i)) + costs.cost(SurveySet::singleton(j));
+                sharing.push(SharingEdge {
+                    surveys: (i, j),
+                    shared,
+                    pair_cost: costs.cost(pair),
+                    savings: apart - costs.cost(pair),
+                });
+            }
+        }
+        let mut attributed = vec![0.0f64; n];
+        for id in &ids {
+            let tau = sets[id];
+            let share = costs.cost(tau) / tau.len() as f64;
+            for i in tau.iter() {
+                attributed[i] += share;
+            }
+        }
+        let survey_costs = (0..n)
+            .map(|i| SurveyCost {
+                survey: i,
+                individuals: answer.answer(i).len(),
+                attributed_cost: attributed[i],
+            })
+            .collect();
+        Some(PlanExplain {
+            solver: match config.solver {
+                SolverKind::Lp => "lp",
+                SolverKind::Ip => "ip",
+            }
+            .to_string(),
+            joint: config.joint_formulation,
+            selections: selections_explain,
+            programs,
+            sharing,
+            survey_costs,
+            residual_rounds,
+            residual_selections,
+            solver_objective,
+            realized_cost: cost,
+            variables,
+            constraints,
+        })
+    } else {
+        None
+    };
+    Ok((
+        CpsRun {
+            answer,
+            cost,
+            solver_objective,
+            residual_selections,
+            variables,
+            constraints,
+            relevant_selections: relevant.len(),
+            timings,
+            phase_stats,
+        },
+        explain,
+    ))
 }
 
 /// MR-SQE on the combined query Q′, with stratum matching done by
@@ -556,19 +1075,52 @@ fn floor_eps(x: f64, eps: f64) -> u64 {
     (x + eps).floor().max(0.0) as u64
 }
 
+/// Search effort behind one solved (sub)program, normalized across the
+/// LP and IP backends for the plan EXPLAIN.
+#[derive(Debug, Clone, Copy, Default)]
+struct SolveEffort {
+    pivots: u64,
+    nodes: u64,
+    lp_relaxations: u64,
+    /// Objective of the (root) LP relaxation — equals the objective
+    /// itself on the LP path, the branch-and-bound lower bound on IP.
+    root_relaxation: f64,
+}
+
+fn lp_effort((solution, stats): (Solution, SimplexStats)) -> (Solution, SolveEffort) {
+    let effort = SolveEffort {
+        pivots: stats.pivots(),
+        nodes: 0,
+        lp_relaxations: 1,
+        root_relaxation: solution.objective,
+    };
+    (solution, effort)
+}
+
+fn ip_effort((solution, stats): (Solution, BranchBoundStats)) -> (Solution, SolveEffort) {
+    let effort = SolveEffort {
+        pivots: stats.pivots,
+        nodes: stats.nodes,
+        lp_relaxations: stats.lp_relaxations,
+        root_relaxation: stats.root_relaxation,
+    };
+    (solution, effort)
+}
+
 /// One Figure 3 (sub)program solve, routed through the traced solver
 /// variants when the cluster carries a telemetry registry (pivot, node
-/// and relaxation counters land under `lp.*` / `ip.*`).
+/// and relaxation counters land under `lp.*` / `ip.*`). Always returns
+/// the search effort so EXPLAIN capture costs nothing extra.
 fn solve_dispatch(
     problem: &Problem,
     solver: SolverKind,
     telemetry: Option<&Registry>,
-) -> Result<stratmr_lp::Solution, LpError> {
+) -> Result<(Solution, SolveEffort), LpError> {
     match (solver, telemetry) {
-        (SolverKind::Lp, Some(reg)) => solve_lp_traced(problem, reg),
-        (SolverKind::Lp, None) => solve_lp(problem),
-        (SolverKind::Ip, Some(reg)) => solve_ip_traced(problem, reg),
-        (SolverKind::Ip, None) => solve_ip(problem),
+        (SolverKind::Lp, Some(reg)) => solve_lp_traced_counted(problem, reg).map(lp_effort),
+        (SolverKind::Lp, None) => solve_lp_counted(problem).map(lp_effort),
+        (SolverKind::Ip, Some(reg)) => solve_ip_traced_counted(problem, reg).map(ip_effort),
+        (SolverKind::Ip, None) => solve_ip_counted(problem).map(ip_effort),
     }
 }
 
@@ -584,6 +1136,7 @@ fn solve_blockwise(
     variables: &mut usize,
     constraints: &mut usize,
     objective: &mut f64,
+    mut explain: Option<&mut Vec<ProgramExplain>>,
 ) -> Result<Vec<SigmaPlan>, LpError> {
     let mut plans = Vec::with_capacity(relevant.len());
     for sel in relevant {
@@ -617,10 +1170,22 @@ fn solve_blockwise(
         timings.formulate_secs += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let solution = solve_dispatch(&problem, config.solver, telemetry)?;
+        let (solution, effort) = solve_dispatch(&problem, config.solver, telemetry)?;
         timings.solve_secs += t1.elapsed().as_secs_f64();
         *objective += solution.objective;
 
+        if let Some(out) = explain.as_deref_mut() {
+            out.push(program_explain(
+                sel.to_string(),
+                &problem,
+                &solution,
+                effort,
+                &taus,
+                &vars,
+                mssd,
+                config,
+            ));
+        }
         let allocations: Vec<(SurveySet, u64)> = taus
             .iter()
             .zip(&vars)
@@ -644,6 +1209,42 @@ fn solve_blockwise(
     Ok(plans)
 }
 
+/// Assemble one [`ProgramExplain`] from a solved (sub)program.
+#[allow(clippy::too_many_arguments)]
+fn program_explain(
+    selection: String,
+    problem: &Problem,
+    solution: &Solution,
+    effort: SolveEffort,
+    taus: &[SurveySet],
+    vars: &[usize],
+    mssd: &MssdQuery,
+    config: CpsConfig,
+) -> ProgramExplain {
+    ProgramExplain {
+        selection,
+        objective: solution.objective,
+        root_relaxation: effort.root_relaxation,
+        pivots: effort.pivots,
+        nodes: effort.nodes,
+        lp_relaxations: effort.lp_relaxations,
+        binding_constraints: problem.binding_constraints(&solution.values, 1e-6),
+        variables: taus
+            .iter()
+            .zip(vars)
+            .map(|(&tau, &v)| VariableExplain {
+                surveys: tau.iter().collect(),
+                cost: mssd.costs().cost(tau),
+                value: solution.values[v],
+                allocation: match config.solver {
+                    SolverKind::Lp => floor_eps(solution.values[v], config.epsilon),
+                    SolverKind::Ip => solution.values[v].round() as u64,
+                },
+            })
+            .collect(),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn solve_joint(
     relevant: &[StratumSelection],
@@ -656,6 +1257,7 @@ fn solve_joint(
     variables: &mut usize,
     constraints: &mut usize,
     objective: &mut f64,
+    explain: Option<&mut Vec<ProgramExplain>>,
 ) -> Result<Vec<SigmaPlan>, LpError> {
     let t0 = Instant::now();
     let mut problem = Problem::new();
@@ -690,9 +1292,24 @@ fn solve_joint(
     timings.formulate_secs += t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let solution = solve_dispatch(&problem, config.solver, telemetry)?;
+    let (solution, effort) = solve_dispatch(&problem, config.solver, telemetry)?;
     timings.solve_secs += t1.elapsed().as_secs_f64();
     *objective = solution.objective;
+
+    if let Some(out) = explain {
+        let all_taus: Vec<SurveySet> = layout.iter().flat_map(|(t, _)| t.iter().copied()).collect();
+        let all_vars: Vec<usize> = layout.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        out.push(program_explain(
+            "joint".to_string(),
+            &problem,
+            &solution,
+            effort,
+            &all_taus,
+            &all_vars,
+            mssd,
+            config,
+        ));
+    }
 
     Ok(relevant
         .iter()
@@ -1043,6 +1660,12 @@ mod tests {
                 snap.counter(&format!("{s}.sampled")) + snap.counter(&format!("{s}.rejected")),
                 "{s}"
             );
+            // the requested frequency is part of the audit ledger, and a
+            // reservoir never returns more than was requested
+            assert!(
+                snap.counter(&format!("{s}.requested")) >= snap.counter(&format!("{s}.sampled")),
+                "{s}"
+            );
         }
     }
 
@@ -1080,6 +1703,126 @@ mod tests {
         assert!(run.answer.is_empty());
         assert_eq!(run.cost, 0.0);
         assert_eq!(run.relevant_selections, 0);
+    }
+
+    #[test]
+    fn explain_captures_sharing_and_cost_attribution() {
+        let data = dataset(2000).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        // two identical surveys with free sharing: every individual is
+        // shared, so the graph has one fully-shared edge and the cost
+        // splits evenly
+        let q = SsdQuery::new(vec![StratumConstraint::new(Formula::lt(x(), 100), 20)]);
+        let free = MssdQuery::new(vec![q.clone(), q], CostModel::paper_style(2, 4.0, &[], 0.0));
+        let (run, explain) =
+            mr_cps_explain(&cluster, &data, &free, CpsConfig::mr_cps(), 3).unwrap();
+        assert_eq!(explain.sharing.len(), 1);
+        let edge = &explain.sharing[0];
+        assert_eq!(edge.surveys, (0, 1));
+        assert_eq!(edge.shared, 20);
+        assert!((edge.pair_cost - 4.0).abs() < 1e-9);
+        assert!((edge.savings - 4.0).abs() < 1e-9, "4 + 4 − 4 = 4");
+        // even split: 20 shared individuals × $4 / 2 surveys = $40 each
+        assert_eq!(explain.survey_costs.len(), 2);
+        for c in &explain.survey_costs {
+            assert_eq!(c.individuals, 20);
+            assert!((c.attributed_cost - 40.0).abs() < 1e-9);
+        }
+        let attributed: f64 = explain.survey_costs.iter().map(|c| c.attributed_cost).sum();
+        assert!((attributed - run.cost).abs() < 1e-9, "attribution is exact");
+        assert_eq!(explain.selections.len(), run.relevant_selections);
+        assert_eq!(explain.programs.len(), run.relevant_selections, "blockwise");
+        assert_eq!(explain.realized_cost, run.cost);
+        assert_eq!(explain.solver_objective, run.solver_objective);
+    }
+
+    #[test]
+    fn explain_gap_is_zero_for_exact_and_nonnegative_for_lp() {
+        let data = dataset(1500).distribute(2, 4, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let mssd = overlapping_mssd();
+        let (_, lp) = mr_cps_explain(&cluster, &data, &mssd, CpsConfig::mr_cps(), 7).unwrap();
+        assert!(lp.optimality_gap() >= 0.0);
+        assert!(lp.to_json().contains("\"solver\": \"lp\""));
+        let (run, ip) = mr_cps_explain(&cluster, &data, &mssd, CpsConfig::exact(), 7).unwrap();
+        assert_eq!(
+            ip.optimality_gap(),
+            0.0,
+            "exact IP realizes its own objective (C_A {} vs C_IP {})",
+            run.cost,
+            ip.solver_objective
+        );
+        assert!(ip.to_json().contains("\"solver\": \"ip\""));
+        // every block's root relaxation lower-bounds its integral optimum
+        for p in &ip.programs {
+            assert!(p.root_relaxation <= p.objective + 1e-9, "{}", p.selection);
+            assert!(p.lp_relaxations >= 1);
+            assert!(!p.binding_constraints.is_empty(), "equalities always bind");
+        }
+    }
+
+    #[test]
+    fn explain_residuals_cover_the_fractional_vertex() {
+        // same instance as fractional_lp_vertex_exercises_residual_phase:
+        // flooring the half-integral optimum leaves all 3 selections to
+        // the residual phase, so the gap is strictly positive
+        let schema = Schema::new(vec![AttrDef::numeric("x", 0, 0)]);
+        let tuples = vec![
+            Individual::new(0, vec![0], 10),
+            Individual::new(1, vec![0], 10),
+        ];
+        let data = Dataset::new(schema, tuples).distribute(2, 2, Placement::RoundRobin);
+        let cluster = Cluster::new(2);
+        let q = SsdQuery::new(vec![StratumConstraint::new(Formula::eq(x(), 0), 1)]);
+        let costs = CostModel::paper_style(3, 4.0, &[(0, 1), (0, 2), (1, 2)], 2.0)
+            .with_override(SurveySet::from_iter([0, 1, 2]), 10.0);
+        let mssd = MssdQuery::new(vec![q.clone(), q.clone(), q], costs);
+        let (run, explain) =
+            mr_cps_explain(&cluster, &data, &mssd, CpsConfig::mr_cps(), 3).unwrap();
+        assert!(!explain.residual_rounds.is_empty());
+        let added: u64 = explain.residual_rounds.iter().map(|r| r.added).sum();
+        assert_eq!(added as usize, run.residual_selections);
+        assert_eq!(explain.residual_rounds[0].deficit, 3);
+        assert!(
+            explain.optimality_gap() > 0.0,
+            "rounding loss must show up as a positive gap: C_sol {} vs C_A {}",
+            explain.solver_objective,
+            explain.realized_cost
+        );
+        // the fractional LP values are visible in the program explain
+        let frac = explain
+            .programs
+            .iter()
+            .flat_map(|p| p.variables.iter())
+            .filter(|v| v.value.fract().abs() > 1e-6)
+            .count();
+        assert!(frac > 0, "the LP vertex is fractional");
+        let text = explain.render_text();
+        assert!(text.contains("optimality gap"));
+        assert!(text.contains("residual rounds:"));
+    }
+
+    #[test]
+    fn explain_json_is_byte_deterministic() {
+        let data = dataset(1200).distribute(3, 6, Placement::RoundRobin);
+        let cluster = Cluster::new(3);
+        let mssd = overlapping_mssd();
+        let (_, a) = mr_cps_explain(&cluster, &data, &mssd, CpsConfig::mr_cps(), 21).unwrap();
+        let (_, b) = mr_cps_explain(&cluster, &data, &mssd, CpsConfig::mr_cps(), 21).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "fixed seed → identical bytes");
+        assert_eq!(a.render_text(), b.render_text());
+        // capture must not perturb the pipeline itself
+        let plain = mr_cps(&cluster, &data, &mssd, CpsConfig::mr_cps(), 21).unwrap();
+        assert_eq!(plain.cost, a.realized_cost);
+        // joint formulation collapses the programs into one
+        let joint_cfg = CpsConfig {
+            joint_formulation: true,
+            ..CpsConfig::mr_cps()
+        };
+        let (_, j) = mr_cps_explain(&cluster, &data, &mssd, joint_cfg, 21).unwrap();
+        assert_eq!(j.programs.len(), 1);
+        assert_eq!(j.programs[0].selection, "joint");
+        assert_eq!(j.programs[0].variables.len(), j.variables);
     }
 
     #[test]

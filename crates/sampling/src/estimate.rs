@@ -16,6 +16,10 @@
 use stratmr_population::{AttrId, Individual};
 use stratmr_query::SsdAnswer;
 
+/// Sampling fractions above this threshold trigger the
+/// finite-population correction in [`Estimate::interval`].
+pub const FPC_THRESHOLD: f64 = 0.05;
+
 /// A point estimate with its estimated standard error.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
@@ -23,15 +27,56 @@ pub struct Estimate {
     pub value: f64,
     /// Estimated standard error of the estimate.
     pub std_error: f64,
+    /// Overall sampling fraction `n / N` behind the estimate, for the
+    /// finite-population correction in [`Estimate::interval`]. Leave at
+    /// `0.0` when the standard error already carries its own FPC (the
+    /// stratified estimators below correct per stratum).
+    pub sampling_fraction: f64,
+    /// True when the design was degenerate — some stratum with a
+    /// nonzero population contributed no sample, so its weight enters
+    /// the point estimate with an unknowable error. Surfaced in the
+    /// audit [`crate::audit::QualityReport`].
+    pub degenerate: bool,
 }
 
 impl Estimate {
+    /// An estimate whose standard error needs no further correction.
+    pub fn new(value: f64, std_error: f64) -> Self {
+        Estimate {
+            value,
+            std_error,
+            sampling_fraction: 0.0,
+            degenerate: false,
+        }
+    }
+
+    /// Attach the overall sampling fraction `n / N` so
+    /// [`Estimate::interval`] can apply the finite-population
+    /// correction.
+    pub fn with_sampling_fraction(mut self, fraction: f64) -> Self {
+        self.sampling_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Mark the estimate as degenerate (see the field docs).
+    pub fn flag_degenerate(mut self) -> Self {
+        self.degenerate = true;
+        self
+    }
+
     /// A two-sided confidence interval at the given z-score (1.96 ≈ 95%).
+    ///
+    /// When the recorded sampling fraction exceeds [`FPC_THRESHOLD`]
+    /// (the classic 5% rule), the half-width is shrunk by the
+    /// finite-population correction `sqrt(1 − n/N)` — sampling a large
+    /// share of a finite population leaves less room for error than the
+    /// infinite-population formula claims.
     pub fn interval(&self, z: f64) -> (f64, f64) {
-        (
-            self.value - z * self.std_error,
-            self.value + z * self.std_error,
-        )
+        let mut half = z * self.std_error;
+        if self.sampling_fraction > FPC_THRESHOLD {
+            half *= (1.0 - self.sampling_fraction).max(0.0).sqrt();
+        }
+        (self.value - half, self.value + half)
     }
 }
 
@@ -57,9 +102,10 @@ fn moments(tuples: &[Individual], attr: AttrId) -> (f64, f64, usize) {
 /// Estimate the population mean of `attr` from a stratified sample.
 ///
 /// `stratum_sizes[k]` is the population size `N_k` of stratum `k` (e.g.
-/// from the Figure 4 counting job). Strata with an empty sample
-/// contribute their weight at zero variance — pass satisfiable designs
-/// for meaningful errors.
+/// from the Figure 4 counting job). A stratum with a nonzero population
+/// but an empty sample cannot contribute — the estimate is returned
+/// with its [`Estimate::degenerate`] flag set instead of dividing by
+/// zero.
 ///
 /// # Panics
 /// Panics if the answer and `stratum_sizes` disagree on the number of
@@ -72,13 +118,11 @@ pub fn stratified_mean(answer: &SsdAnswer, stratum_sizes: &[usize], attr: AttrId
     );
     let n_total: usize = stratum_sizes.iter().sum();
     if n_total == 0 {
-        return Estimate {
-            value: 0.0,
-            std_error: 0.0,
-        };
+        return Estimate::new(0.0, 0.0).flag_degenerate();
     }
     let mut mean = 0.0;
     let mut variance = 0.0;
+    let mut degenerate = false;
     for (k, &n_k) in stratum_sizes.iter().enumerate() {
         if n_k == 0 {
             continue;
@@ -89,11 +133,15 @@ pub fn stratified_mean(answer: &SsdAnswer, stratum_sizes: &[usize], attr: AttrId
         if n_sample > 0 {
             let fpc = 1.0 - n_sample as f64 / n_k as f64;
             variance += w * w * fpc.max(0.0) * s2_k / n_sample as f64;
+        } else {
+            degenerate = true;
         }
     }
-    Estimate {
-        value: mean,
-        std_error: variance.sqrt(),
+    let est = Estimate::new(mean, variance.sqrt());
+    if degenerate {
+        est.flag_degenerate()
+    } else {
+        est
     }
 }
 
@@ -104,6 +152,7 @@ pub fn stratified_total(answer: &SsdAnswer, stratum_sizes: &[usize], attr: AttrI
     Estimate {
         value: mean.value * n_total as f64,
         std_error: mean.std_error * n_total as f64,
+        ..mean
     }
 }
 
@@ -113,16 +162,10 @@ pub fn stratified_total(answer: &SsdAnswer, stratum_sizes: &[usize], attr: AttrI
 pub fn srs_mean(sample: &[Individual], population: usize, attr: AttrId) -> Estimate {
     let (mean, var, n) = moments(sample, attr);
     if n == 0 {
-        return Estimate {
-            value: 0.0,
-            std_error: 0.0,
-        };
+        return Estimate::new(0.0, 0.0).flag_degenerate();
     }
     let fpc = 1.0 - n as f64 / population as f64;
-    Estimate {
-        value: mean,
-        std_error: (fpc.max(0.0) * var / n as f64).sqrt(),
-    }
+    Estimate::new(mean, (fpc.max(0.0) * var / n as f64).sqrt())
 }
 
 /// Estimate the fraction of the population satisfying a predicate from a
@@ -135,13 +178,11 @@ pub fn stratified_proportion(
     assert_eq!(answer.num_strata(), stratum_sizes.len());
     let n_total: usize = stratum_sizes.iter().sum();
     if n_total == 0 {
-        return Estimate {
-            value: 0.0,
-            std_error: 0.0,
-        };
+        return Estimate::new(0.0, 0.0).flag_degenerate();
     }
     let mut p_est = 0.0;
     let mut variance = 0.0;
+    let mut degenerate = false;
     for (k, &n_k) in stratum_sizes.iter().enumerate() {
         if n_k == 0 {
             continue;
@@ -149,6 +190,7 @@ pub fn stratified_proportion(
         let sample = answer.stratum(k);
         let n = sample.len();
         if n == 0 {
+            degenerate = true;
             continue;
         }
         let hits = sample.iter().filter(|t| predicate(t)).count();
@@ -160,9 +202,11 @@ pub fn stratified_proportion(
             variance += w * w * fpc.max(0.0) * p_k * (1.0 - p_k) / (n - 1) as f64;
         }
     }
-    Estimate {
-        value: p_est,
-        std_error: variance.sqrt(),
+    let est = Estimate::new(p_est, variance.sqrt());
+    if degenerate {
+        est.flag_degenerate()
+    } else {
+        est
     }
 }
 
@@ -286,5 +330,40 @@ mod tests {
     #[should_panic(expected = "stratum count mismatch")]
     fn mismatched_sizes_rejected() {
         stratified_mean(&SsdAnswer::empty(2), &[1], attr());
+    }
+
+    #[test]
+    fn interval_applies_fpc_above_five_percent() {
+        // hand-computed: value 50, se 10, n/N = 0.36
+        //   → half-width 2 · 10 · sqrt(1 − 0.36) = 20 · 0.8 = 16
+        let est = Estimate::new(50.0, 10.0).with_sampling_fraction(0.36);
+        let (lo, hi) = est.interval(2.0);
+        assert!((lo - 34.0).abs() < 1e-12, "lo = {lo}");
+        assert!((hi - 66.0).abs() < 1e-12, "hi = {hi}");
+        // below the 5% threshold the classic interval is kept
+        let small = Estimate::new(50.0, 10.0).with_sampling_fraction(0.04);
+        assert_eq!(small.interval(2.0), (30.0, 70.0));
+        // a census (n = N) collapses the interval onto the estimate
+        let census = Estimate::new(50.0, 10.0).with_sampling_fraction(1.0);
+        assert_eq!(census.interval(2.0), (50.0, 50.0));
+    }
+
+    #[test]
+    fn empty_stratum_flags_degenerate_instead_of_nan() {
+        let (common, _) = population();
+        // stratum 1 has population 100 but no sample at all
+        let answer = SsdAnswer::from_strata(vec![common, Vec::new()]);
+        let est = stratified_mean(&answer, &[900, 100], attr());
+        assert!(est.degenerate, "missing stratum must be flagged");
+        assert!(est.value.is_finite() && est.std_error.is_finite());
+        let p = stratified_proportion(&answer, &[900, 100], |t| t.get(attr()) >= 1000);
+        assert!(p.degenerate);
+        assert!(p.value.is_finite() && p.std_error.is_finite());
+        // fully populated designs stay unflagged
+        let (common, rare) = population();
+        let full = SsdAnswer::from_strata(vec![common, rare]);
+        assert!(!stratified_mean(&full, &[900, 100], attr()).degenerate);
+        // the degenerate flag propagates through the total estimator
+        assert!(stratified_total(&answer, &[900, 100], attr()).degenerate);
     }
 }

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cps;
 pub mod estimate;
 pub mod input;
@@ -56,7 +57,11 @@ pub mod stats;
 pub mod stream;
 pub mod unified;
 
-pub use cps::{mr_cps, mr_cps_on_splits, CpsConfig, CpsRun, CpsTimings, SolverKind};
+pub use audit::{summarize_mean, EstimateSummary, QualityReport, StratumTrail, BIAS_GATE_Z};
+pub use cps::{
+    mr_cps, mr_cps_explain, mr_cps_explain_on_splits, mr_cps_on_splits, CpsConfig, CpsRun,
+    CpsTimings, PlanExplain, SolverKind,
+};
 pub use estimate::{srs_mean, stratified_mean, stratified_proportion, stratified_total, Estimate};
 pub use input::{to_input_splits, wire_bytes};
 pub use limits::stratum_selection_limits;

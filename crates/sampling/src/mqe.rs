@@ -54,14 +54,22 @@ impl<'a> MqeJob<'a> {
         self
     }
 
-    /// Emit `mqe.q<i>.s<k>.{candidates,sampled,rejected}` counters into
-    /// `registry`, one trio per `(query, stratum)` pair.
+    /// Emit `mqe.q<i>.s<k>.{requested,candidates,sampled,rejected}`
+    /// counters into `registry`, one quadruple per `(query, stratum)`
+    /// pair.
     pub fn with_telemetry(mut self, registry: &Registry) -> Self {
         self.counters = Some(
             self.queries
                 .iter()
                 .enumerate()
-                .map(|(i, q)| StratumCounters::per_stratum(registry, &format!("mqe.q{i}"), q.len()))
+                .map(|(i, q)| {
+                    let counters =
+                        StratumCounters::per_stratum(registry, &format!("mqe.q{i}"), q.len());
+                    for k in 0..q.len() {
+                        counters.request(k, q.stratum(k).frequency as u64);
+                    }
+                    counters
+                })
                 .collect(),
         );
         self

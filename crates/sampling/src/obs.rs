@@ -9,6 +9,7 @@
 //!
 //! | name | meaning |
 //! |---|---|
+//! | `<job>.s<k>.requested` | the frequency `f_k` the query asked for |
 //! | `<job>.s<k>.candidates` | map-phase tuples matched into stratum `k` |
 //! | `<job>.s<k>.sampled` | tuples in stratum `k`'s final sample |
 //! | `<job>.s<k>.rejected` | candidates observed but not selected |
@@ -16,19 +17,27 @@
 //! where `<job>` is `sqe`, `mqe.q<i>` (per query), `cps.combined`
 //! (per combined-query stratum) or `cps.residual` (aggregate, because
 //! its keys are dynamic `(query, σ)` pairs).
+//!
+//! Together the quadruple is a per-stratum inclusion-probability trail:
+//! each of the `candidates` tuples entered the final sample with
+//! probability `sampled / candidates` and therefore represents
+//! `candidates / sampled` population members (the Horvitz–Thompson
+//! weight). The [`crate::audit`] module turns these counters into a
+//! [`crate::audit::QualityReport`].
 
 use stratmr_telemetry::{Counter, Registry};
 
 /// Prefetched per-stratum counter handles for one sampling job.
 pub(crate) struct StratumCounters {
+    requested: Vec<Counter>,
     candidates: Vec<Counter>,
     sampled: Vec<Counter>,
     rejected: Vec<Counter>,
 }
 
 impl StratumCounters {
-    /// One `candidates`/`sampled`/`rejected` counter trio per stratum,
-    /// named `<prefix>.s<k>.<field>`.
+    /// One `requested`/`candidates`/`sampled`/`rejected` counter
+    /// quadruple per stratum, named `<prefix>.s<k>.<field>`.
     pub fn per_stratum(registry: &Registry, prefix: &str, n_strata: usize) -> Self {
         let fetch = |field: &str| {
             (0..n_strata)
@@ -36,21 +45,30 @@ impl StratumCounters {
                 .collect()
         };
         Self {
+            requested: fetch("requested"),
             candidates: fetch("candidates"),
             sampled: fetch("sampled"),
             rejected: fetch("rejected"),
         }
     }
 
-    /// A single aggregate trio named `<prefix>.<field>`, for jobs whose
-    /// key space is not a fixed stratum range. Record with index 0.
+    /// A single aggregate quadruple named `<prefix>.<field>`, for jobs
+    /// whose key space is not a fixed stratum range. Record with
+    /// index 0.
     pub fn aggregate(registry: &Registry, prefix: &str) -> Self {
         let fetch = |field: &str| vec![registry.counter(&format!("{prefix}.{field}"))];
         Self {
+            requested: fetch("requested"),
             candidates: fetch("candidates"),
             sampled: fetch("sampled"),
             rejected: fetch("rejected"),
         }
+    }
+
+    /// Record the requested frequency `f` for stratum `k` (once, at
+    /// job-construction time).
+    pub fn request(&self, k: usize, f: u64) {
+        self.requested[k].add(f);
     }
 
     /// A map-phase match for stratum `k`.

@@ -48,14 +48,14 @@ impl<'a> SqeJob<'a> {
         self
     }
 
-    /// Emit per-stratum `sqe.s<k>.{candidates,sampled,rejected}`
+    /// Emit per-stratum `sqe.s<k>.{requested,candidates,sampled,rejected}`
     /// counters into `registry`.
     pub fn with_telemetry(mut self, registry: &Registry) -> Self {
-        self.counters = Some(StratumCounters::per_stratum(
-            registry,
-            "sqe",
-            self.query.len(),
-        ));
+        let counters = StratumCounters::per_stratum(registry, "sqe", self.query.len());
+        for k in 0..self.query.len() {
+            counters.request(k, self.query.stratum(k).frequency as u64);
+        }
+        self.counters = Some(counters);
         self
     }
 }
