@@ -580,6 +580,7 @@ mod tests {
             partition: matches!(phase, TracePhase::Shuffle | TracePhase::Reduce).then_some(task),
             attempt: 0,
             failed: false,
+            speculative: false,
             start_us: start,
             dur_us: dur,
             records: 1,

@@ -3,8 +3,12 @@
 //!
 //! ```text
 //! cargo run --release -p stratmr-bench --bin robustness -- \
+//!     --faults 7 \
 //!     --telemetry robustness_telemetry.json --trace robustness_trace.json
 //! ```
+//!
+//! `--faults <seed>` (or `STRATMR_FAULT_SEED`) seeds the injected
+//! crash/straggler fault plan.
 
 use stratmr_bench::{experiments, CliArgs};
 

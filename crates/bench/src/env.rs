@@ -31,6 +31,10 @@ pub struct BenchConfig {
     /// Use the uniform synthetic dataset of §6.2.1 instead of the
     /// DBLP-like one.
     pub uniform: bool,
+    /// Seed for the fault plans injected by fault-aware experiments
+    /// (the robustness experiment's crash/recovery conditions). `None`
+    /// uses each experiment's fixed default seed.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for BenchConfig {
@@ -42,6 +46,7 @@ impl Default for BenchConfig {
             machines: 10,
             splits: 40,
             uniform: false,
+            fault_seed: None,
         }
     }
 }
@@ -66,12 +71,35 @@ impl BenchConfig {
         if let Some(v) = env_usize("STRATMR_MACHINES") {
             cfg.machines = v;
         }
+        if let Some(v) = env_u64("STRATMR_FAULT_SEED") {
+            cfg.fault_seed = Some(v);
+        }
         cfg
     }
 }
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.parse().ok()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// The value of a `--flag <value>` / `--flag=<value>` process argument.
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(flag) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
 }
 
 /// A prepared experiment environment: one population, pre-partitioned,
@@ -126,7 +154,7 @@ impl BenchEnv {
 
 /// The command-line flags shared by every bench binary, parsed once:
 /// `--telemetry <out.json>`, `--trace <out.json>`, `--explain
-/// <out.json>` and `--uniform`.
+/// <out.json>`, `--uniform` and `--faults <seed>`.
 ///
 /// A binary's `main` is then three steps — parse, run the experiment
 /// from [`crate::experiments`] with [`CliArgs::obs`], and
@@ -144,6 +172,9 @@ pub struct CliArgs {
     pub explain: Option<ExplainFile>,
     /// `--uniform`: use the §6.2.1 uniform synthetic dataset.
     pub uniform: bool,
+    /// `--faults <seed>`: seed for injected fault plans (overrides
+    /// `STRATMR_FAULT_SEED`).
+    pub faults: Option<u64>,
 }
 
 impl CliArgs {
@@ -154,6 +185,7 @@ impl CliArgs {
             trace: telemetry::trace_from_args(),
             explain: explain::from_args(),
             uniform: std::env::args().any(|a| a == "--uniform"),
+            faults: flag_value("--faults").and_then(|v| v.parse().ok()),
         }
     }
 
@@ -181,6 +213,9 @@ impl CliArgs {
     pub fn bench_env(&self) -> BenchEnv {
         let mut config = BenchConfig::from_env();
         config.uniform = self.uniform;
+        if self.faults.is_some() {
+            config.fault_seed = self.faults;
+        }
         BenchEnv::new(config)
     }
 
@@ -223,6 +258,7 @@ mod tests {
             machines: 2,
             splits: 4,
             uniform: false,
+            fault_seed: None,
         };
         let env = BenchEnv::new(cfg);
         assert_eq!(env.data.len(), 2_000);

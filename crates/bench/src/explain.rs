@@ -143,6 +143,7 @@ mod tests {
             machines: 4,
             splits: 8,
             uniform: false,
+            fault_seed: None,
         })
     }
 

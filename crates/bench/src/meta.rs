@@ -18,7 +18,12 @@ use std::fmt::Write as _;
 ///
 /// v2: every artifact embeds a `quality` block (per-stratum sampling
 /// audit + optimality gap) between `metrics` and `records`.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `config` gains a `fault_seed` key (the `--faults` seed, `null`
+/// when unset) and the robustness experiment's records/metrics carry
+/// fault-recovery measurements (wasted-work fraction, speculation win
+/// rate, re-executed map tasks).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The self-describing header (see module docs).
 #[derive(Clone, Debug, PartialEq)]
@@ -107,14 +112,16 @@ impl ArtifactMeta {
             out,
             "{{\"schema_version\": {}, \"experiment\": {:?}, \"seed\": {}, \
              \"crate_version\": {:?}, \"git_sha\": {:?}, \
-             \"config\": {{\"machines\": {}, \"population\": {}, \"runs\": {}, \
-             \"scales\": [{}], \"splits\": {}, \"uniform\": {}}}, \
+             \"config\": {{\"fault_seed\": {}, \"machines\": {}, \"population\": {}, \
+             \"runs\": {}, \"scales\": [{}], \"splits\": {}, \"uniform\": {}}}, \
              \"host\": {{\"cargo_profile\": {:?}, \"os\": {:?}}}}}",
             self.schema_version,
             self.experiment,
             self.seed,
             self.crate_version,
             self.git_sha,
+            c.fault_seed
+                .map_or_else(|| "null".to_string(), |s| s.to_string()),
             c.machines,
             c.population,
             c.runs,
@@ -134,7 +141,7 @@ impl ArtifactMeta {
     pub fn comparability_key(&self) -> String {
         let c = &self.config;
         format!(
-            "v{} {} pop={} runs={} scales={:?} machines={} splits={} uniform={}",
+            "v{} {} pop={} runs={} scales={:?} machines={} splits={} uniform={} faults={:?}",
             self.schema_version,
             self.experiment,
             c.population,
@@ -142,7 +149,8 @@ impl ArtifactMeta {
             c.scales,
             c.machines,
             c.splits,
-            c.uniform
+            c.uniform,
+            c.fault_seed
         )
     }
 
@@ -182,6 +190,10 @@ impl ArtifactMeta {
                 machines: as_u64(cfg_get("machines")?)? as usize,
                 splits: as_u64(cfg_get("splits")?)? as usize,
                 uniform: as_bool(cfg_get("uniform")?)?,
+                fault_seed: match serde::find_field(config_fields, "fault_seed") {
+                    None | Some(serde::Value::Null) => None,
+                    Some(v) => Some(as_u64(v)?),
+                },
             },
             host: HostMeta {
                 cargo_profile: as_string(

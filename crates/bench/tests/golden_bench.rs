@@ -32,6 +32,7 @@ fn bench_artifact_schema_is_byte_stable() {
         machines: 4,
         splits: 8,
         uniform: false,
+        fault_seed: None,
     };
     let env = BenchEnv::new(config.clone());
     let exp = experiments::ALL

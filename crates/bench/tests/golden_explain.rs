@@ -29,6 +29,7 @@ fn explain_artifact_is_byte_stable() {
         machines: 4,
         splits: 8,
         uniform: false,
+        fault_seed: None,
     };
     let env = BenchEnv::new(config.clone());
     let meta = ArtifactMeta::fixed_for_tests("optimality", stratmr_bench::env::DATA_SEED, &config);

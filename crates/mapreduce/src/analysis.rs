@@ -5,18 +5,25 @@
 //! All functions consume the [`JobTrace`]s collected by
 //! [`Cluster::with_trace`](crate::Cluster::with_trace). Because the
 //! trace *is* the schedule, the critical path is reconstructed purely
-//! from event durations: under the barrier model the job's makespan is
+//! from event windows: under the barrier model the job's makespan is
 //!
 //! ```text
-//! overhead + busy(map-bound machine) + longest shuffle transfer
-//!          + busy(reduce-bound machine)
+//! overhead + (map barrier − overhead) + (shuffle end − map barrier)
+//!          + (reduce end − shuffle end)
 //! ```
 //!
-//! and [`critical_path`] returns exactly that chain of tasks —
-//! cross-checked against `JobStats::sim.makespan_us` by
-//! `tests/analysis.rs` to ~1e-9 relative error (the trace scales each
-//! task component individually, so it differs from the aggregate
-//! accounting only at floating-point rounding level).
+//! where each barrier is the latest event end of its phase, and
+//! [`critical_path`] returns exactly that chain of tasks — cross-checked
+//! against `JobStats::sim.makespan_us` by `tests/analysis.rs` to ~1e-9
+//! relative error. Measuring *windows* (latest end) instead of summing
+//! per-machine busy time keeps the identity exact under the
+//! fault-tolerant scheduler too, where retries back off, crashed work is
+//! re-executed after a gap, and speculative backups overlap their
+//! primaries.
+//!
+//! [`recovery`] summarizes the fault-tolerance work visible in a trace:
+//! failed and speculative attempts, re-executed map tasks and the
+//! wasted-work fraction.
 
 use stratmr_telemetry::{JobTrace, TraceEvent, TracePhase};
 
@@ -25,10 +32,13 @@ use stratmr_telemetry::{JobTrace, TraceEvent, TracePhase};
 pub struct CriticalPath {
     /// Job setup overhead, µs (the path's first edge).
     pub overhead_us: f64,
-    /// Machine whose map work (incl. combines and retries) finished
-    /// last.
+    /// Machine whose map work (incl. combines, retries and
+    /// re-executions) finished last — it defines the map barrier.
     pub map_machine: u64,
-    /// Busy time of that machine in the map phase, µs.
+    /// Map-phase window, µs: map barrier minus setup overhead. Equals
+    /// the bounding machine's busy time in a fault-free run; under
+    /// faults it additionally absorbs backoff gaps and re-execution
+    /// stalls on that machine.
     pub map_us: f64,
     /// Partition of the longest shuffle transfer (`None` when the job
     /// shuffled nothing).
@@ -37,15 +47,41 @@ pub struct CriticalPath {
     pub shuffle_us: f64,
     /// Machine whose reduce work finished last.
     pub reduce_machine: u64,
-    /// Busy time of that machine in the reduce phase, µs.
+    /// Reduce-phase window, µs: makespan minus the shuffle end.
     pub reduce_us: f64,
     /// The events along the path, in schedule order: every map/combine
     /// task (and failed attempt) on `map_machine`, the bounding shuffle
     /// transfer, every reduce task on `reduce_machine`.
     pub tasks: Vec<TraceEvent>,
     /// Sum of the path: `overhead + map + shuffle + reduce`, µs.
-    /// Equals the job's simulated makespan.
+    /// Equals the job's simulated makespan exactly (each window is
+    /// measured between the same event ends the scheduler used).
     pub total_us: f64,
+}
+
+/// Fault-tolerance work visible in one job's trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Map + reduce attempts executed (combine work rides along with
+    /// its map attempt).
+    pub attempts: u64,
+    /// Attempts that failed: retried rolls, crash-killed work and
+    /// speculative losers.
+    pub failed_attempts: u64,
+    /// Speculative backup attempts launched.
+    pub speculative_attempts: u64,
+    /// Speculative backups that beat their primary.
+    pub speculation_wins: u64,
+    /// Map tasks executed successfully more than once (outputs lost to
+    /// a crash and re-executed).
+    pub reexecuted_map_tasks: u64,
+    /// Scheduled µs that produced no surviving output: failed attempts
+    /// plus superseded successes.
+    pub wasted_us: f64,
+    /// Total scheduled µs across all map/combine/reduce attempts.
+    pub busy_us: f64,
+    /// `wasted / busy` (0.0 for an empty or fault-free trace).
+    pub wasted_frac: f64,
 }
 
 /// Per-machine busy time, split by phase.
@@ -116,46 +152,67 @@ fn phase_busy(trace: &JobTrace, machines: usize, phases: &[TracePhase]) -> Vec<f
     busy
 }
 
-fn argmax(values: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &v) in values.iter().enumerate() {
-        if v > values[best] {
-            best = i;
+/// The latest event end in the given phases, with the machine attaining
+/// it (first such machine in trace order on exact ties). Returns
+/// `floor` with machine 0 when the phases have no events.
+fn phase_barrier(trace: &JobTrace, phases: &[TracePhase], floor: f64) -> (f64, u64) {
+    let mut end = floor;
+    let mut machine = 0u64;
+    let mut seen = false;
+    for e in &trace.events {
+        if !phases.contains(&e.phase) {
+            continue;
+        }
+        let e_end = e.start_us + e.dur_us;
+        if !seen || e_end > end {
+            machine = e.machine;
+            end = end.max(e_end);
+            seen = true;
         }
     }
-    best
+    (end, machine)
 }
 
 /// Extract the task chain bounding the makespan (see module docs).
 ///
-/// Ties (two machines with identical busy time) resolve to the lowest
-/// machine id, so the result is deterministic.
+/// Ties (two machines finishing a phase at the same instant) resolve to
+/// the first in trace order — the lowest machine id under the sorted
+/// trace contract — so the result is deterministic.
 pub fn critical_path(trace: &JobTrace) -> CriticalPath {
-    let machines = trace.machines.max(1) as usize;
-    let map_busy = phase_busy(trace, machines, &[TracePhase::Map, TracePhase::Combine]);
-    let reduce_busy = phase_busy(trace, machines, &[TracePhase::Reduce]);
-    let map_machine = argmax(&map_busy);
-    let reduce_machine = argmax(&reduce_busy);
+    let (map_end, map_machine) = phase_barrier(
+        trace,
+        &[TracePhase::Map, TracePhase::Combine],
+        trace.overhead_us,
+    );
     let bounding_shuffle = trace
         .phase_events(TracePhase::Shuffle)
         .max_by(|a, b| {
-            a.dur_us
-                .partial_cmp(&b.dur_us)
+            (a.start_us + a.dur_us)
+                .partial_cmp(&(b.start_us + b.dur_us))
                 .unwrap_or(std::cmp::Ordering::Equal)
                 // ties → lowest partition id, matching the cluster's
                 // fold(f64::max) which keeps the first maximum
                 .then(b.task.cmp(&a.task))
         })
         .cloned();
-    let shuffle_us = bounding_shuffle.as_ref().map(|e| e.dur_us).unwrap_or(0.0);
+    let shuffle_end = bounding_shuffle
+        .as_ref()
+        .map(|e| (e.start_us + e.dur_us).max(map_end))
+        .unwrap_or(map_end);
+    let (reduce_end, reduce_machine) = phase_barrier(trace, &[TracePhase::Reduce], shuffle_end);
+    let reduce_machine = if trace.phase_events(TracePhase::Reduce).next().is_some() {
+        reduce_machine
+    } else {
+        0
+    };
 
     let mut tasks: Vec<TraceEvent> = trace
         .events
         .iter()
         .filter(|e| match e.phase {
-            TracePhase::Map | TracePhase::Combine => e.machine as usize == map_machine,
+            TracePhase::Map | TracePhase::Combine => e.machine == map_machine,
             TracePhase::Shuffle => false,
-            TracePhase::Reduce => e.machine as usize == reduce_machine,
+            TracePhase::Reduce => e.machine == reduce_machine,
         })
         .cloned()
         .collect();
@@ -172,18 +229,75 @@ pub fn critical_path(trace: &JobTrace) -> CriticalPath {
 
     CriticalPath {
         overhead_us: trace.overhead_us,
-        map_machine: map_machine as u64,
-        map_us: map_busy[map_machine],
+        map_machine,
+        map_us: map_end - trace.overhead_us,
         shuffle_partition: bounding_shuffle.and_then(|e| e.partition),
-        shuffle_us,
-        reduce_machine: reduce_machine as u64,
-        reduce_us: reduce_busy[reduce_machine],
+        shuffle_us: shuffle_end - map_end,
+        reduce_machine,
+        reduce_us: reduce_end - shuffle_end,
         tasks,
-        total_us: trace.overhead_us
-            + map_busy[map_machine]
-            + shuffle_us
-            + reduce_busy[reduce_machine],
+        total_us: reduce_end,
     }
+}
+
+/// Summarize the fault-tolerance work in a trace: attempt outcomes,
+/// speculation, re-execution and the wasted-work fraction. A fault-free
+/// trace reports zero everywhere except `attempts`/`busy_us`.
+pub fn recovery(trace: &JobTrace) -> RecoveryReport {
+    use std::collections::HashMap;
+    let mut rep = RecoveryReport::default();
+    // last successful attempt per (phase, task): earlier successes were
+    // superseded (their outputs lost to a crash) and count as waste
+    let mut last_ok: HashMap<(TracePhase, u64), u32> = HashMap::new();
+    for e in &trace.events {
+        if matches!(e.phase, TracePhase::Map | TracePhase::Reduce) && !e.failed {
+            let k = (e.phase, e.task);
+            let a = last_ok.entry(k).or_insert(e.attempt);
+            *a = (*a).max(e.attempt);
+        }
+    }
+    let mut map_successes: HashMap<u64, u64> = HashMap::new();
+    for e in &trace.events {
+        if e.phase == TracePhase::Shuffle {
+            continue;
+        }
+        rep.busy_us += e.dur_us;
+        if matches!(e.phase, TracePhase::Map | TracePhase::Reduce) {
+            rep.attempts += 1;
+            if e.failed {
+                rep.failed_attempts += 1;
+            }
+            if e.speculative {
+                rep.speculative_attempts += 1;
+                if !e.failed {
+                    rep.speculation_wins += 1;
+                }
+            }
+            if e.phase == TracePhase::Map && !e.failed {
+                *map_successes.entry(e.task).or_insert(0) += 1;
+            }
+        }
+        let group_phase = if e.phase == TracePhase::Combine {
+            TracePhase::Map
+        } else {
+            e.phase
+        };
+        let superseded = !e.failed
+            && last_ok
+                .get(&(group_phase, e.task))
+                .map(|&a| e.attempt < a)
+                .unwrap_or(false);
+        if e.failed || superseded {
+            rep.wasted_us += e.dur_us;
+        }
+    }
+    rep.reexecuted_map_tasks = map_successes.values().filter(|&&n| n > 1).count() as u64;
+    rep.wasted_frac = if rep.busy_us > 0.0 {
+        rep.wasted_us / rep.busy_us
+    } else {
+        0.0
+    };
+    rep
 }
 
 /// Per-machine busy/idle breakdown. Idle time is measured against each
@@ -404,6 +518,7 @@ mod tests {
             partition: matches!(phase, TracePhase::Shuffle | TracePhase::Reduce).then_some(task),
             attempt: 0,
             failed: false,
+            speculative: false,
             start_us: start,
             dur_us: dur,
             records: 1,
@@ -446,6 +561,96 @@ mod tests {
             phases,
             vec![TracePhase::Map, TracePhase::Shuffle, TracePhase::Reduce]
         );
+    }
+
+    #[test]
+    fn critical_path_windows_absorb_scheduling_gaps() {
+        // m1's surviving map attempt starts after a backoff gap; the map
+        // window must still end exactly where the attempt does
+        let trace = JobTrace {
+            name: "gappy".into(),
+            seq: 0,
+            start_us: 0.0,
+            overhead_us: 4.0,
+            makespan_us: 45.0,
+            machines: 2,
+            events: vec![
+                ev(TracePhase::Map, 0, 0, 4.0, 10.0, 100),
+                TraceEvent {
+                    failed: true,
+                    ..ev(TracePhase::Map, 1, 1, 4.0, 6.0, 0)
+                },
+                TraceEvent {
+                    attempt: 1,
+                    ..ev(TracePhase::Map, 1, 1, 20.0, 15.0, 100)
+                },
+                ev(TracePhase::Shuffle, 0, 0, 35.0, 5.0, 100),
+                ev(TracePhase::Reduce, 0, 0, 40.0, 5.0, 100),
+            ],
+        };
+        let cp = critical_path(&trace);
+        assert_eq!(cp.map_machine, 1);
+        assert!((cp.map_us - 31.0).abs() < 1e-12, "window, not busy sum");
+        assert!((cp.total_us - trace.makespan_us).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_counts_waste_speculation_and_reexecution() {
+        let trace = JobTrace {
+            name: "chaotic".into(),
+            seq: 0,
+            start_us: 0.0,
+            overhead_us: 0.0,
+            makespan_us: 63.0,
+            machines: 3,
+            events: vec![
+                // task 0: one failed roll, then success
+                TraceEvent {
+                    failed: true,
+                    ..ev(TracePhase::Map, 0, 0, 0.0, 5.0, 0)
+                },
+                TraceEvent {
+                    attempt: 1,
+                    ..ev(TracePhase::Map, 0, 0, 5.0, 10.0, 100)
+                },
+                // task 1: succeeded, outputs lost to a crash, re-executed
+                ev(TracePhase::Map, 1, 1, 0.0, 10.0, 100),
+                TraceEvent {
+                    attempt: 1,
+                    ..ev(TracePhase::Map, 2, 1, 12.0, 10.0, 100)
+                },
+                // reduce 0: straggling primary killed by a winning backup
+                TraceEvent {
+                    failed: true,
+                    ..ev(TracePhase::Reduce, 0, 0, 25.0, 20.0, 0)
+                },
+                TraceEvent {
+                    attempt: 1,
+                    speculative: true,
+                    ..ev(TracePhase::Reduce, 1, 0, 27.0, 8.0, 100)
+                },
+            ],
+        };
+        let rep = recovery(&trace);
+        assert_eq!(rep.attempts, 6);
+        assert_eq!(rep.failed_attempts, 2);
+        assert_eq!(rep.speculative_attempts, 1);
+        assert_eq!(rep.speculation_wins, 1);
+        assert_eq!(rep.reexecuted_map_tasks, 1);
+        assert!((rep.busy_us - 63.0).abs() < 1e-12);
+        assert!((rep.wasted_us - 35.0).abs() < 1e-12, "{rep:?}");
+        assert!((rep.wasted_frac - 35.0 / 63.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_is_all_zero_on_clean_traces() {
+        let rep = recovery(&toy_trace());
+        assert_eq!(rep.failed_attempts, 0);
+        assert_eq!(rep.speculative_attempts, 0);
+        assert_eq!(rep.reexecuted_map_tasks, 0);
+        assert_eq!(rep.wasted_us, 0.0);
+        assert_eq!(rep.wasted_frac, 0.0);
+        assert_eq!(rep.attempts, 4);
     }
 
     #[test]

@@ -6,18 +6,31 @@
 //! experiments are reproducible on any host (see DESIGN.md,
 //! substitution 1).
 //!
-//! Scheduling model:
-//! * one map task per input split, placed on the split's home machine;
+//! Scheduling model (see [`crate::sched`] internals and DESIGN.md,
+//! "Fault model & recovery"):
+//! * one map task per input split, preferring the split's home machine
+//!   (data locality); tasks fall back to the earliest-available healthy
+//!   machine when their home node is dead or blacklisted;
 //! * intermediate keys are hash-partitioned into `reduce_tasks`
-//!   partitions; reduce task `p` runs on machine `p % machines`;
+//!   partitions; reduce task `p` homes on machine `p % machines`;
 //! * tasks on one machine run serially, machines run in parallel, and
-//!   the phases (map+combine → shuffle → reduce) are barriers, so the
-//!   simulated makespan is
-//!   `job_overhead + max_machine(map work) + max_partition(shuffle) +
-//!    max_machine(reduce work)`.
+//!   the phases (map+combine → shuffle → reduce) are barriers;
+//! * under a [`FaultPlan`] the scheduler replays node crashes (killing
+//!   in-flight attempts and re-executing lost map outputs), persistent
+//!   slowness, flaky attempts, retry budgets with exponential backoff,
+//!   node blacklisting and speculative execution — all deterministic in
+//!   the job seed, and none of it able to change job *results*, because
+//!   task outputs are computed before the schedule is replayed.
+//!
+//! Without a fault plan the schedule degenerates to the original
+//! back-to-back model and the simulated makespan is
+//! `job_overhead + max_machine(map work) + max_partition(shuffle) +
+//!  max_machine(reduce work)`.
 
+use crate::chaos::FaultPlan;
 use crate::cost::{CostConfig, SimTime};
 use crate::job::{mix_seed, CombineJob, Emitter, Job, NoCombiner, TaskCtx};
+use crate::sched;
 use crate::split::InputSplit;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -45,10 +58,24 @@ pub struct JobStats {
     pub map_tasks: u64,
     /// Reduce tasks executed (one per partition).
     pub reduce_tasks: u64,
-    /// Map-task attempts that failed and were retried.
+    /// Map-task attempts that failed their roll and were retried.
     pub map_task_retries: u64,
-    /// Reduce-task attempts that failed and were retried.
+    /// Reduce-task attempts that failed their roll and were retried.
     pub reduce_task_retries: u64,
+    /// Map tasks re-executed because a node crash lost their outputs.
+    pub map_task_reexecutions: u64,
+    /// Speculative backup attempts launched (map + reduce).
+    pub speculative_attempts: u64,
+    /// Speculative backups that finished before their primary.
+    pub speculation_wins: u64,
+    /// Nodes that crashed during the job.
+    pub nodes_crashed: u64,
+    /// Nodes blacklisted for repeated attempt failures.
+    pub nodes_blacklisted: u64,
+    /// Unscaled µs of work that produced no surviving output: failed
+    /// attempts, crash-killed attempts, speculative losers and map
+    /// executions whose outputs were later lost.
+    pub wasted_us: f64,
     /// Simulated time breakdown.
     pub sim: SimTime,
     /// Real wall-clock execution time in seconds (host-dependent;
@@ -66,6 +93,52 @@ pub struct JobOutput<K, O> {
     pub stats: JobStats,
 }
 
+/// Why a job could not complete. Surfaced by [`Cluster::try_run`] and
+/// [`Cluster::try_run_with_combiner`]; the panicking [`Cluster::run`]
+/// variants turn it into a panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// A task failed more attempts than the retry budget allows
+    /// ([`Cluster::with_retry_budget`]; an internal safety valve bounds
+    /// even "unbounded" budgets so certainly-failing tasks terminate).
+    RetriesExhausted {
+        /// `"map"` or `"reduce"`.
+        phase: &'static str,
+        /// The task that ran out of attempts.
+        task: usize,
+        /// Failed attempts consumed.
+        attempts: u32,
+    },
+    /// Every machine is dead or blacklisted — the task cannot be placed.
+    NoHealthyMachines {
+        /// `"map"` or `"reduce"`.
+        phase: &'static str,
+        /// The unplaceable task.
+        task: usize,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::RetriesExhausted {
+                phase,
+                task,
+                attempts,
+            } => write!(
+                f,
+                "{phase} task {task} exhausted its retry budget after {attempts} failed attempts"
+            ),
+            JobError::NoHealthyMachines { phase, task } => write!(
+                f,
+                "{phase} task {task} cannot be placed: every machine is dead or blacklisted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// A simulated cluster of worker machines.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -77,6 +150,18 @@ pub struct Cluster {
     speeds: Vec<f64>,
     /// Probability that any task attempt fails and is retried.
     failure_prob: f64,
+    /// Node-level faults replayed by the scheduler.
+    fault_plan: Option<FaultPlan>,
+    /// Max failed attempts per task before `RetriesExhausted`; `None`
+    /// is unbounded (up to an internal safety valve).
+    retry_budget: Option<u32>,
+    /// Base delay before a retry; doubles with each failure.
+    retry_backoff_us: f64,
+    /// Blacklist a node after this many failed attempts on it.
+    blacklist_after: Option<u32>,
+    /// Launch speculative backups for successful attempts on machines
+    /// at least this slow (effective slowness factor).
+    speculation_threshold: Option<f64>,
     /// Optional metrics sink; clones of the cluster share it.
     telemetry: Option<Registry>,
     /// Optional per-task trace sink; clones of the cluster share it.
@@ -96,6 +181,11 @@ impl Cluster {
             costs: CostConfig::default(),
             speeds: vec![1.0; machines],
             failure_prob: 0.0,
+            fault_plan: None,
+            retry_budget: None,
+            retry_backoff_us: 0.0,
+            blacklist_after: None,
+            speculation_threshold: None,
             telemetry: None,
             trace: None,
             job_name: None,
@@ -134,13 +224,73 @@ impl Cluster {
     /// failed tasks. Failures are deterministic in the job seed, and a
     /// retry re-executes the task with the same task seed, so job
     /// *results* are identical with and without failures — only the
-    /// simulated time and the retry counters change.
+    /// simulated time, the schedule and the retry counters change.
+    ///
+    /// `prob = 1.0` makes every attempt fail; the job then terminates
+    /// with [`JobError::RetriesExhausted`] once the retry budget (or the
+    /// internal safety valve) is consumed.
     ///
     /// # Panics
-    /// Panics unless `0.0 ≤ prob < 1.0`.
+    /// Panics unless `0.0 ≤ prob ≤ 1.0`.
     pub fn with_failures(mut self, prob: f64) -> Self {
-        assert!((0.0..1.0).contains(&prob), "prob must be in [0, 1)");
+        assert!((0.0..=1.0).contains(&prob), "prob must be in [0, 1]");
         self.failure_prob = prob;
+        self
+    }
+
+    /// Replay a node-level [`FaultPlan`] (crashes, slowness, flakiness)
+    /// during every job run on this cluster. Faults change the schedule,
+    /// the simulated times and the counters — never the results.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Cap the failed attempts any single task may consume; the job
+    /// fails with [`JobError::RetriesExhausted`] when a task exceeds it.
+    /// Crash-killed and speculative attempts do not consume budget.
+    ///
+    /// # Panics
+    /// Panics if `max_failures` is zero.
+    pub fn with_retry_budget(mut self, max_failures: u32) -> Self {
+        assert!(max_failures > 0, "retry budget must allow one attempt");
+        self.retry_budget = Some(max_failures);
+        self
+    }
+
+    /// Delay retries with exponential backoff: the `k`-th retry of a
+    /// task waits `base_us × 2^(k-1)` simulated µs before restarting.
+    ///
+    /// # Panics
+    /// Panics if `base_us` is negative.
+    pub fn with_retry_backoff(mut self, base_us: f64) -> Self {
+        assert!(base_us >= 0.0, "backoff must be non-negative");
+        self.retry_backoff_us = base_us;
+        self
+    }
+
+    /// Blacklist a node once `failures` attempts have failed on it; its
+    /// pending and future tasks move to healthy machines (Hadoop's
+    /// per-job tasktracker blacklist).
+    ///
+    /// # Panics
+    /// Panics if `failures` is zero.
+    pub fn with_blacklist_after(mut self, failures: u32) -> Self {
+        assert!(failures > 0, "blacklist threshold must be positive");
+        self.blacklist_after = Some(failures);
+        self
+    }
+
+    /// Enable speculative execution: a successful attempt on a machine
+    /// whose effective slowness factor is at least `threshold` races a
+    /// backup attempt on the earliest-available other machine; the first
+    /// finisher wins and the loser is killed.
+    ///
+    /// # Panics
+    /// Panics unless `threshold ≥ 1.0`.
+    pub fn with_speculation(mut self, threshold: f64) -> Self {
+        assert!(threshold >= 1.0, "speculation threshold must be ≥ 1");
+        self.speculation_threshold = Some(threshold);
         self
     }
 
@@ -161,12 +311,12 @@ impl Cluster {
 
     /// Attach a per-task trace sink. Every job run on this cluster then
     /// records a [`stratmr_telemetry::JobTrace`]: one [`TraceEvent`]
-    /// per map/combine/shuffle-transfer/reduce task (including failed
-    /// attempts under [`Cluster::with_failures`]) with simulated start
-    /// times derived from the serial-per-machine schedule, so the trace
-    /// *is* the schedule and its bounding chain sums to the makespan.
-    /// Events are assembled on the driver thread and batch-appended
-    /// once per job — the parallel sections never touch the sink.
+    /// per map/combine/shuffle-transfer/reduce attempt (including
+    /// failed, crash-killed and speculative attempts) with simulated
+    /// start times from the scheduler's replay, so the trace *is* the
+    /// schedule. Events are assembled on the driver thread and
+    /// batch-appended once per job — the parallel sections never touch
+    /// the sink.
     pub fn with_trace(mut self, sink: TraceSink) -> Self {
         self.trace = Some(sink);
         self
@@ -200,27 +350,6 @@ impl Cluster {
         }
     }
 
-    /// Number of failed attempts before task `task_id` of phase `phase`
-    /// succeeds (deterministic in the job seed).
-    fn failed_attempts(&self, job_seed: u64, phase: u64, task_id: usize) -> u32 {
-        if self.failure_prob == 0.0 {
-            return 0;
-        }
-        let threshold = (self.failure_prob * u32::MAX as f64) as u64;
-        let mut failures = 0;
-        while failures < 16 {
-            let roll = mix_seed(
-                mix_seed(job_seed, 0xFA11 ^ phase),
-                ((task_id as u64) << 8) | failures as u64,
-            ) & 0xFFFF_FFFF;
-            if roll >= threshold {
-                break;
-            }
-            failures += 1;
-        }
-        failures
-    }
-
     /// Number of worker machines.
     pub fn machines(&self) -> usize {
         self.machines
@@ -232,6 +361,10 @@ impl Cluster {
     }
 
     /// Run a combiner-less job.
+    ///
+    /// # Panics
+    /// Panics if the job cannot complete under the configured fault
+    /// model — use [`Cluster::try_run`] to handle [`JobError`].
     pub fn run<J: Job>(
         &self,
         job: &J,
@@ -242,16 +375,57 @@ impl Cluster {
         J::MapOut: Send + Sync,
         J::ReduceOut: Send,
     {
-        self.run_with_combiner(&NoCombiner(job), splits, seed)
+        match self.try_run(job, splits, seed) {
+            Ok(out) => out,
+            Err(e) => panic!("mapreduce job failed: {e}"),
+        }
     }
 
     /// Run a job with a combiner.
+    ///
+    /// # Panics
+    /// Panics if the job cannot complete under the configured fault
+    /// model — use [`Cluster::try_run_with_combiner`] to handle
+    /// [`JobError`].
     pub fn run_with_combiner<J: CombineJob>(
         &self,
         job: &J,
         splits: &[InputSplit<J::Input>],
         seed: u64,
     ) -> JobOutput<J::Key, J::ReduceOut>
+    where
+        J::CombOut: Send + Sync,
+        J::ReduceOut: Send,
+    {
+        match self.try_run_with_combiner(job, splits, seed) {
+            Ok(out) => out,
+            Err(e) => panic!("mapreduce job failed: {e}"),
+        }
+    }
+
+    /// Run a combiner-less job, surfacing scheduling failures as
+    /// [`JobError`] instead of panicking.
+    pub fn try_run<J: Job>(
+        &self,
+        job: &J,
+        splits: &[InputSplit<J::Input>],
+        seed: u64,
+    ) -> Result<JobOutput<J::Key, J::ReduceOut>, JobError>
+    where
+        J::MapOut: Send + Sync,
+        J::ReduceOut: Send,
+    {
+        self.try_run_with_combiner(&NoCombiner(job), splits, seed)
+    }
+
+    /// Run a job with a combiner, surfacing scheduling failures as
+    /// [`JobError`] instead of panicking.
+    pub fn try_run_with_combiner<J: CombineJob>(
+        &self,
+        job: &J,
+        splits: &[InputSplit<J::Input>],
+        seed: u64,
+    ) -> Result<JobOutput<J::Key, J::ReduceOut>, JobError>
     where
         J::CombOut: Send + Sync,
         J::ReduceOut: Send,
@@ -293,7 +467,7 @@ impl Cluster {
         }
 
         let map_span = tel.map(|t| t.span("map"));
-        let tasks: Vec<MapTaskOut<J::Key, J::CombOut>> = splits
+        let mut tasks: Vec<MapTaskOut<J::Key, J::CombOut>> = splits
             .par_iter()
             .map(|split| {
                 let task_seed = mix_seed(seed, split.id as u64);
@@ -384,83 +558,12 @@ impl Cluster {
             reduce_tasks: self.reduce_tasks as u64,
             ..JobStats::default()
         };
-        let map_retry_counter = tel.map(|t| t.counter("mr.map.task_retries"));
-        let tracing = self.trace.is_some();
-        let mut trace_events: Vec<TraceEvent> = Vec::new();
-        // per-machine simulated clocks for the trace: map tasks start
-        // once the job setup overhead has elapsed, and tasks on one
-        // machine run back to back in split order (the schedule the
-        // makespan model assumes)
-        let mut machine_clock = vec![costs.job_overhead_us; self.machines];
-        let mut machine_map_us = vec![0.0f64; self.machines];
         let mut combine_wall_us = 0.0f64;
-        for (task_id, t) in tasks.iter().enumerate() {
+        for t in &tasks {
             stats.map_input_records += t.in_records;
             stats.map_output_records += t.out_records;
             stats.combine_output_pairs += t.combined.len() as u64;
             combine_wall_us += t.combine_wall_us;
-            // a failed attempt wastes (on average) half the task's work
-            // plus a full startup overhead before the retry succeeds
-            let retries = self.failed_attempts(seed, 0, task_id) as f64;
-            let retry_us = retries * (costs.task_overhead_us + 0.5 * (t.map_us + t.combine_us));
-            stats.map_task_retries += retries as u64;
-            if let Some(c) = &map_retry_counter {
-                c.add(retries as u64);
-            }
-            stats.sim.map_us += t.map_us + retry_us;
-            stats.sim.combine_us += t.combine_us;
-            let m = t.machine % self.machines;
-            machine_map_us[m] += (t.map_us + t.combine_us + retry_us) * self.speeds[m];
-            if tracing {
-                let speed = self.speeds[m];
-                let clock = &mut machine_clock[m];
-                let retry_each = (costs.task_overhead_us + 0.5 * (t.map_us + t.combine_us)) * speed;
-                for attempt in 0..retries as u32 {
-                    trace_events.push(TraceEvent {
-                        phase: TracePhase::Map,
-                        task: task_id as u64,
-                        machine: m as u64,
-                        partition: None,
-                        attempt,
-                        failed: true,
-                        start_us: *clock,
-                        dur_us: retry_each,
-                        records: 0,
-                        bytes: 0,
-                    });
-                    *clock += retry_each;
-                }
-                let map_dur = t.map_us * speed;
-                trace_events.push(TraceEvent {
-                    phase: TracePhase::Map,
-                    task: task_id as u64,
-                    machine: m as u64,
-                    partition: None,
-                    attempt: retries as u32,
-                    failed: false,
-                    start_us: *clock,
-                    dur_us: map_dur,
-                    records: t.in_records,
-                    bytes: t.scan_bytes,
-                });
-                *clock += map_dur;
-                if job.has_combiner() {
-                    let combine_dur = t.combine_us * speed;
-                    trace_events.push(TraceEvent {
-                        phase: TracePhase::Combine,
-                        task: task_id as u64,
-                        machine: m as u64,
-                        partition: None,
-                        attempt: retries as u32,
-                        failed: false,
-                        start_us: *clock,
-                        dur_us: combine_dur,
-                        records: t.out_records,
-                        bytes: 0,
-                    });
-                    *clock += combine_dur;
-                }
-            }
         }
         // per-task combine work ran inside the map tasks; report its
         // aggregated wall time as a sibling phase of the driver's map span
@@ -470,14 +573,50 @@ impl Cluster {
             }
         }
 
+        // ---- replay the map schedule (outputs are already computed,
+        // so faults can only move time around) ---------------------------
+        let knobs = sched::Knobs {
+            base_fail_prob: self.failure_prob,
+            task_overhead_us: costs.task_overhead_us,
+            retry_budget: self.retry_budget,
+            retry_backoff_us: self.retry_backoff_us,
+            blacklist_after: self.blacklist_after,
+            speculation_threshold: self.speculation_threshold,
+        };
+        let mut machines = sched::MachineState::build(
+            &self.speeds,
+            self.fault_plan.as_ref(),
+            costs.job_overhead_us,
+        );
+        let map_sched: Vec<sched::SchedTask> = tasks
+            .iter()
+            .map(|t| sched::SchedTask {
+                body_us: t.map_us,
+                tail_us: t.combine_us,
+                home: t.machine,
+            })
+            .collect();
+        let mut map_run = sched::PhaseRun::new(
+            &knobs,
+            &map_sched,
+            "map",
+            0,
+            seed,
+            costs.job_overhead_us,
+            true,
+        );
+        map_run
+            .drain(&mut machines)
+            .map_err(|e| self.job_failed(e))?;
+
         // ---- shuffle: hash-partition combiner outputs ------------------
         let shuffle_span = tel.map(|t| t.span("shuffle"));
         let shuffle_bytes_counter = tel.map(|t| t.counter("mr.shuffle.bytes"));
         let mut partitions: Vec<Vec<(J::Key, J::CombOut)>> =
             (0..self.reduce_tasks).map(|_| Vec::new()).collect();
         let mut partition_bytes = vec![0u64; self.reduce_tasks];
-        for task in tasks {
-            for (k, c) in task.combined {
+        for task in &mut tasks {
+            for (k, c) in task.combined.drain(..) {
                 let p = partition_of(&k, self.reduce_tasks);
                 let b = job.comb_bytes(&k, &c);
                 partition_bytes[p] += b;
@@ -498,9 +637,99 @@ impl Cluster {
             .fold(0.0f64, f64::max);
 
         // the map phase is a barrier: every shuffle transfer starts once
-        // the last map task (on the slowest machine) has finished
-        let map_barrier_us =
-            costs.job_overhead_us + machine_map_us.iter().copied().fold(0.0, f64::max);
+        // the last map task has finished. Nodes crashing before their
+        // outputs cross the network lose them — re-execute the affected
+        // map tasks until the barrier is stable.
+        loop {
+            let horizon = map_run.barrier() + shuffle_makespan;
+            if !map_run
+                .reexecute_lost(horizon, &mut machines)
+                .map_err(|e| self.job_failed(e))?
+            {
+                break;
+            }
+        }
+        let map_barrier_us = map_run.barrier();
+
+        // ---- map accounting + trace from the scheduled attempts --------
+        let map_retry_counter = tel.map(|t| t.counter("mr.map.task_retries"));
+        let tracing = self.trace.is_some();
+        let mut trace_events: Vec<TraceEvent> = Vec::new();
+        stats.map_task_retries = map_run.retries;
+        stats.map_task_reexecutions = map_run.reexecutions;
+        if let Some(c) = &map_retry_counter {
+            c.add(map_run.retries);
+        }
+        let mut last_success = vec![usize::MAX; tasks.len()];
+        for (i, a) in map_run.attempts.iter().enumerate() {
+            if a.outcome == sched::Outcome::Success {
+                last_success[a.task] = i;
+            }
+        }
+        for (i, a) in map_run.attempts.iter().enumerate() {
+            let t = &tasks[a.task];
+            if a.outcome == sched::Outcome::Success {
+                stats.sim.map_us += t.map_us;
+                stats.sim.combine_us += t.combine_us;
+                if last_success[a.task] != i {
+                    // a crash lost this execution's outputs later
+                    stats.wasted_us += t.map_us + t.combine_us;
+                }
+            } else {
+                stats.sim.map_us += a.nominal_us;
+                stats.wasted_us += a.nominal_us;
+            }
+            if tracing {
+                let speed = machines[a.machine].speed;
+                if a.outcome == sched::Outcome::Success {
+                    let body_dur = t.map_us * speed;
+                    trace_events.push(TraceEvent {
+                        phase: TracePhase::Map,
+                        task: a.task as u64,
+                        machine: a.machine as u64,
+                        partition: None,
+                        attempt: a.attempt,
+                        failed: false,
+                        speculative: a.speculative,
+                        start_us: a.start_us,
+                        dur_us: body_dur,
+                        records: t.in_records,
+                        bytes: t.scan_bytes,
+                    });
+                    if job.has_combiner() {
+                        trace_events.push(TraceEvent {
+                            phase: TracePhase::Combine,
+                            task: a.task as u64,
+                            machine: a.machine as u64,
+                            partition: None,
+                            attempt: a.attempt,
+                            failed: false,
+                            speculative: a.speculative,
+                            start_us: a.start_us + body_dur,
+                            // subtract so the combine ends exactly where
+                            // the scheduled attempt does
+                            dur_us: a.dur_us - body_dur,
+                            records: t.out_records,
+                            bytes: 0,
+                        });
+                    }
+                } else {
+                    trace_events.push(TraceEvent {
+                        phase: TracePhase::Map,
+                        task: a.task as u64,
+                        machine: a.machine as u64,
+                        partition: None,
+                        attempt: a.attempt,
+                        failed: true,
+                        speculative: a.speculative,
+                        start_us: a.start_us,
+                        dur_us: a.dur_us,
+                        records: 0,
+                        bytes: 0,
+                    });
+                }
+            }
+        }
         if tracing {
             for (p, pairs) in partitions.iter().enumerate() {
                 trace_events.push(TraceEvent {
@@ -510,6 +739,7 @@ impl Cluster {
                     partition: Some(p as u64),
                     attempt: 0,
                     failed: false,
+                    speculative: false,
                     start_us: map_barrier_us,
                     dur_us: partition_bytes[p] as f64 * costs.network_us_per_byte,
                     records: pairs.len() as u64,
@@ -582,63 +812,78 @@ impl Cluster {
             s.close();
         }
 
-        let reduce_retry_counter = tel.map(|t| t.counter("mr.reduce.task_retries"));
+        // ---- replay the reduce schedule --------------------------------
         // the shuffle is a barrier too: reduce tasks start once the
-        // largest partition has finished transferring
-        let mut reduce_clock = vec![map_barrier_us + shuffle_makespan; self.machines];
-        let mut machine_reduce_us = vec![0.0f64; self.machines];
-        let mut results = Vec::new();
-        for (task_id, (machine, outs, n_values, us)) in reduce_outs.into_iter().enumerate() {
-            stats.reduce_input_values += n_values;
-            stats.distinct_keys += outs.len() as u64;
-            let retries = self.failed_attempts(seed, 1, task_id) as f64;
-            let retry_us = retries * (costs.task_overhead_us + 0.5 * us);
-            stats.reduce_task_retries += retries as u64;
-            if let Some(c) = &reduce_retry_counter {
-                c.add(retries as u64);
+        // largest partition has finished transferring. Reduce outputs are
+        // durable (HDFS-style), so a later crash never re-runs them.
+        let reduce_start = map_barrier_us + shuffle_makespan;
+        let reduce_sched: Vec<sched::SchedTask> = reduce_outs
+            .iter()
+            .map(|(machine, _, _, us)| sched::SchedTask {
+                body_us: *us,
+                tail_us: 0.0,
+                home: *machine,
+            })
+            .collect();
+        let mut reduce_run = sched::PhaseRun::new(
+            &knobs,
+            &reduce_sched,
+            "reduce",
+            1,
+            seed,
+            reduce_start,
+            false,
+        );
+        reduce_run
+            .drain(&mut machines)
+            .map_err(|e| self.job_failed(e))?;
+
+        let reduce_retry_counter = tel.map(|t| t.counter("mr.reduce.task_retries"));
+        stats.reduce_task_retries = reduce_run.retries;
+        if let Some(c) = &reduce_retry_counter {
+            c.add(reduce_run.retries);
+        }
+        for a in &reduce_run.attempts {
+            let (_, _, n_values, us) = &reduce_outs[a.task];
+            if a.outcome == sched::Outcome::Success {
+                stats.sim.reduce_us += us;
+            } else {
+                stats.sim.reduce_us += a.nominal_us;
+                stats.wasted_us += a.nominal_us;
             }
-            stats.sim.reduce_us += us + retry_us;
-            machine_reduce_us[machine] += (us + retry_us) * self.speeds[machine];
             if tracing {
-                let speed = self.speeds[machine];
-                let clock = &mut reduce_clock[machine];
-                let retry_each = (costs.task_overhead_us + 0.5 * us) * speed;
-                for attempt in 0..retries as u32 {
-                    trace_events.push(TraceEvent {
-                        phase: TracePhase::Reduce,
-                        task: task_id as u64,
-                        machine: machine as u64,
-                        partition: Some(task_id as u64),
-                        attempt,
-                        failed: true,
-                        start_us: *clock,
-                        dur_us: retry_each,
-                        records: 0,
-                        bytes: 0,
-                    });
-                    *clock += retry_each;
-                }
-                let dur = us * speed;
+                let failed = a.outcome != sched::Outcome::Success;
                 trace_events.push(TraceEvent {
                     phase: TracePhase::Reduce,
-                    task: task_id as u64,
-                    machine: machine as u64,
-                    partition: Some(task_id as u64),
-                    attempt: retries as u32,
-                    failed: false,
-                    start_us: *clock,
-                    dur_us: dur,
-                    records: n_values,
-                    bytes: partition_bytes[task_id],
+                    task: a.task as u64,
+                    machine: a.machine as u64,
+                    partition: Some(a.task as u64),
+                    attempt: a.attempt,
+                    failed,
+                    speculative: a.speculative,
+                    start_us: a.start_us,
+                    dur_us: a.dur_us,
+                    records: if failed { 0 } else { *n_values },
+                    bytes: if failed { 0 } else { partition_bytes[a.task] },
                 });
-                *clock += dur;
             }
+        }
+
+        let mut results = Vec::new();
+        for (_, outs, n_values, _) in reduce_outs.into_iter() {
+            stats.reduce_input_values += n_values;
+            stats.distinct_keys += outs.len() as u64;
             results.extend(outs);
         }
 
-        stats.sim.makespan_us = map_barrier_us
-            + shuffle_makespan
-            + machine_reduce_us.iter().copied().fold(0.0, f64::max);
+        stats.sim.makespan_us = reduce_run.barrier();
+        stats.speculative_attempts = map_run.spec_attempts + reduce_run.spec_attempts;
+        stats.speculation_wins = map_run.spec_wins + reduce_run.spec_wins;
+        stats.nodes_crashed = machines
+            .iter()
+            .filter(|s| s.dead || s.crash_at < stats.sim.makespan_us)
+            .count() as u64;
+        stats.nodes_blacklisted = machines.iter().filter(|s| s.blacklisted).count() as u64;
         stats.wall_secs = start.elapsed().as_secs_f64();
 
         if let Some(sink) = &self.trace {
@@ -663,9 +908,34 @@ impl Cluster {
             t.record("mr.sim.shuffle_us", stats.sim.shuffle_us.round() as u64);
             t.record("mr.sim.reduce_us", stats.sim.reduce_us.round() as u64);
             t.record("mr.sim.makespan_us", stats.sim.makespan_us.round() as u64);
+            // recovery counters exist only when recovery happened, so
+            // fault-free telemetry snapshots keep their legacy shape
+            for (name, v) in [
+                ("mr.map.task_reexecutions", stats.map_task_reexecutions),
+                ("mr.spec.attempts", stats.speculative_attempts),
+                ("mr.spec.wins", stats.speculation_wins),
+                ("mr.nodes.crashed", stats.nodes_crashed),
+                ("mr.nodes.blacklisted", stats.nodes_blacklisted),
+            ] {
+                if v > 0 {
+                    t.counter(name).add(v);
+                }
+            }
         }
 
-        JobOutput { results, stats }
+        Ok(JobOutput { results, stats })
+    }
+
+    /// Count a scheduling failure on the telemetry registry and pass the
+    /// error through.
+    fn job_failed(&self, e: JobError) -> JobError {
+        if let Some(t) = &self.telemetry {
+            t.counter("mr.jobs.failed").inc();
+            if let JobError::RetriesExhausted { phase, .. } = &e {
+                t.counter(&format!("mr.{phase}.retries_exhausted")).inc();
+            }
+        }
+        e
     }
 }
 
@@ -888,24 +1158,26 @@ mod tests {
         assert_eq!(a.stats.shuffle_bytes, b.stats.shuffle_bytes);
     }
 
+    /// A scan-heavy job shared by the fault-model tests below.
+    struct Scan;
+    impl Job for Scan {
+        type Input = u64;
+        type Key = u8;
+        type MapOut = u64;
+        type ReduceOut = u64;
+        fn map(&self, _c: &TaskCtx, r: &u64, out: &mut Emitter<u8, u64>) {
+            out.emit(0, *r);
+        }
+        fn reduce(&self, _c: &TaskCtx, _k: &u8, v: Vec<u64>) -> u64 {
+            v.len() as u64
+        }
+        fn input_bytes(&self, _r: &u64) -> u64 {
+            500_000
+        }
+    }
+
     #[test]
     fn straggler_dominates_makespan() {
-        struct Scan;
-        impl Job for Scan {
-            type Input = u64;
-            type Key = u8;
-            type MapOut = u64;
-            type ReduceOut = u64;
-            fn map(&self, _c: &TaskCtx, r: &u64, out: &mut Emitter<u8, u64>) {
-                out.emit(0, *r);
-            }
-            fn reduce(&self, _c: &TaskCtx, _k: &u8, v: Vec<u64>) -> u64 {
-                v.len() as u64
-            }
-            fn input_bytes(&self, _r: &u64) -> u64 {
-                500_000
-            }
-        }
         let records: Vec<u64> = (0..400).collect();
         let splits = make_splits(records, 8, 4);
         let uniform = Cluster::new(4).run(&Scan, &splits, 0).stats.sim.makespan_us;
@@ -961,15 +1233,160 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "prob must be in [0, 1)")]
+    fn certain_failure_returns_typed_retry_exhaustion() {
+        // prob = 1.0 is now legal: with a budget the job fails fast with
+        // a typed error instead of silently capping at 16 attempts
+        let splits = make_splits(corpus(), 2, 2);
+        let cluster = Cluster::new(2).with_failures(1.0).with_retry_budget(4);
+        let err = cluster.try_run(&WordCount, &splits, 1).unwrap_err();
+        assert_eq!(
+            err,
+            JobError::RetriesExhausted {
+                phase: "map",
+                task: 0,
+                attempts: 4
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "map task 0 exhausted its retry budget after 4 failed attempts"
+        );
+    }
+
+    #[test]
+    fn certain_failure_without_budget_hits_the_safety_valve() {
+        let splits = make_splits(corpus(), 1, 1);
+        let cluster = Cluster::new(1).with_failures(1.0);
+        let err = cluster.try_run(&WordCount, &splits, 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JobError::RetriesExhausted {
+                    phase: "map",
+                    task: 0,
+                    ..
+                }
+            ),
+            "no silent cap: {err:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mapreduce job failed")]
+    fn run_panics_on_job_error() {
+        let splits = make_splits(corpus(), 2, 2);
+        let _ = Cluster::new(2)
+            .with_failures(1.0)
+            .with_retry_budget(2)
+            .run(&WordCount, &splits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "prob must be in [0, 1]")]
     fn failure_prob_validated() {
-        let _ = Cluster::new(1).with_failures(1.0);
+        let _ = Cluster::new(1).with_failures(1.5);
     }
 
     #[test]
     #[should_panic(expected = "one factor per machine")]
     fn slowness_arity_checked() {
         let _ = Cluster::new(3).with_machine_slowness(vec![1.0]);
+    }
+
+    #[test]
+    fn crash_loses_map_outputs_and_reexecutes() {
+        let records: Vec<u64> = (0..400).collect();
+        let splits = make_splits(records, 8, 4);
+        let healthy = Cluster::new(4).run(&Scan, &splits, 3);
+        // crash machine 0 shortly after the job starts: its finished map
+        // outputs are lost and re-executed on the survivors
+        let plan = FaultPlan::new().crash(0, 7_000_000.0);
+        let crashed = Cluster::new(4).with_fault_plan(plan).run(&Scan, &splits, 3);
+        assert_eq!(
+            counts_of_u8(&healthy.results),
+            counts_of_u8(&crashed.results),
+            "crash recovery must not change results"
+        );
+        assert_eq!(crashed.stats.nodes_crashed, 1);
+        assert!(
+            crashed.stats.map_task_reexecutions > 0,
+            "lost outputs must be re-executed: {:?}",
+            crashed.stats
+        );
+        assert!(crashed.stats.wasted_us > 0.0);
+        assert!(
+            crashed.stats.sim.makespan_us > healthy.stats.sim.makespan_us,
+            "recovery costs time"
+        );
+    }
+
+    fn counts_of_u8(results: &[(u8, u64)]) -> HashMap<u8, u64> {
+        results.iter().cloned().collect()
+    }
+
+    #[test]
+    fn crash_of_every_machine_is_a_typed_error() {
+        let splits = make_splits((0..40).collect::<Vec<u64>>(), 2, 2);
+        let plan = FaultPlan::new().crash(0, 0.0).crash(1, 0.0);
+        let err = Cluster::new(2)
+            .with_fault_plan(plan)
+            .try_run(&Scan, &splits, 1)
+            .unwrap_err();
+        assert!(matches!(err, JobError::NoHealthyMachines { .. }));
+    }
+
+    #[test]
+    fn speculation_beats_a_straggling_node() {
+        let records: Vec<u64> = (0..400).collect();
+        let splits = make_splits(records, 8, 4);
+        let plan = FaultPlan::new().slow(3, 8.0);
+        let slow = Cluster::new(4)
+            .with_fault_plan(plan.clone())
+            .run(&Scan, &splits, 0);
+        let speculating = Cluster::new(4)
+            .with_fault_plan(plan)
+            .with_speculation(2.0)
+            .run(&Scan, &splits, 0);
+        assert_eq!(
+            counts_of_u8(&slow.results),
+            counts_of_u8(&speculating.results)
+        );
+        assert!(speculating.stats.speculative_attempts > 0);
+        assert!(speculating.stats.speculation_wins > 0);
+        assert!(
+            speculating.stats.sim.makespan_us < slow.stats.sim.makespan_us,
+            "winning backups must shorten the job: {} !< {}",
+            speculating.stats.sim.makespan_us,
+            slow.stats.sim.makespan_us
+        );
+    }
+
+    #[test]
+    fn blacklisting_is_counted_and_preserves_results() {
+        let splits = make_splits(corpus(), 4, 2);
+        let plan = FaultPlan::new().flaky(0, 0.95);
+        let out = Cluster::new(2)
+            .with_fault_plan(plan)
+            .with_blacklist_after(3)
+            .run(&WordCount, &splits, 11);
+        let clean = Cluster::new(2).run(&WordCount, &splits, 11);
+        assert_eq!(counts_of(&clean.results), counts_of(&out.results));
+        assert_eq!(out.stats.nodes_blacklisted, 1);
+    }
+
+    #[test]
+    fn backoff_extends_the_makespan_without_changing_retries() {
+        let splits = make_splits(corpus(), 4, 2);
+        let base = Cluster::new(2).with_failures(0.4);
+        let backed = Cluster::new(2)
+            .with_failures(0.4)
+            .with_retry_backoff(500_000.0);
+        let a = base.run(&WordCount, &splits, 11);
+        let b = backed.run(&WordCount, &splits, 11);
+        assert!(a.stats.map_task_retries + a.stats.reduce_task_retries > 0);
+        assert_eq!(a.stats.map_task_retries, b.stats.map_task_retries);
+        assert_eq!(a.stats.reduce_task_retries, b.stats.reduce_task_retries);
+        assert!(b.stats.sim.makespan_us > a.stats.sim.makespan_us);
     }
 
     #[test]

@@ -58,6 +58,13 @@ impl JobLog {
         self.phases.iter().map(|(_, s)| s.map_input_records).sum()
     }
 
+    /// Total µs of work across all jobs that produced no surviving
+    /// output (failed attempts, crash kills, speculative losers, lost
+    /// map executions) — zero on a fault-free series.
+    pub fn total_wasted_us(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s.wasted_us).sum()
+    }
+
     /// Aggregate simulated work across phases.
     pub fn aggregate_sim(&self) -> SimTime {
         let mut sim = SimTime::default();
@@ -144,6 +151,26 @@ mod tests {
         assert_eq!(log.total_makespan_us(), sum);
         let agg = log.aggregate_sim();
         assert!(agg.map_us > 0.0 && agg.makespan_us == sum);
+        assert_eq!(
+            log.total_wasted_us(),
+            0.0,
+            "fault-free series wastes nothing"
+        );
+    }
+
+    #[test]
+    fn wasted_work_aggregates_across_jobs() {
+        let cluster = Cluster::new(2)
+            .with_fault_plan(crate::chaos::FaultPlan::new().flaky(1, 1.0))
+            .with_blacklist_after(3);
+        let splits = make_splits((0..300).collect(), 4, 2);
+        let mut log = JobLog::new();
+        for i in 0..2 {
+            log.record(format!("pass {i}"), cluster.run(&Count, &splits, i).stats);
+        }
+        let sum: f64 = log.phases().iter().map(|(_, s)| s.wasted_us).sum();
+        assert!(sum > 0.0, "an always-flaky node must waste work");
+        assert_eq!(log.total_wasted_us(), sum);
     }
 
     #[test]

@@ -40,13 +40,16 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod cluster;
 pub mod cost;
 pub mod driver;
 pub mod job;
+mod sched;
 pub mod split;
 
-pub use cluster::{Cluster, JobOutput, JobStats};
+pub use chaos::{FaultMix, FaultPlan, NodeFault};
+pub use cluster::{Cluster, JobError, JobOutput, JobStats};
 pub use cost::{CostConfig, SimTime};
 pub use driver::JobLog;
 pub use job::{CombineJob, Emitter, Job, TaskCtx};

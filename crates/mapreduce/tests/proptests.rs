@@ -6,7 +6,10 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use stratmr_mapreduce::{make_splits, Cluster, CombineJob, CostConfig, Emitter, Job, TaskCtx};
+use stratmr_mapreduce::{
+    analysis, make_splits, Cluster, CombineJob, CostConfig, Emitter, FaultMix, FaultPlan, Job,
+    TaskCtx, TraceSink,
+};
 use stratmr_telemetry::{Registry, Snapshot};
 
 struct SumJob;
@@ -193,6 +196,114 @@ proptest! {
                 span
             );
         }
+    }
+
+    #[test]
+    fn speculation_and_blacklisting_never_change_output(
+        records in prop::collection::vec((0u8..8, -60i64..60), 1..150),
+        machines in 1usize..8,
+        splits in 1usize..10,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        // the full recovery machinery at once: seeded crashes, slowness
+        // and flakiness, plus speculation, blacklisting and backoff —
+        // with machine 0 kept healthy so completion is guaranteed, the
+        // answer must be bit-identical to the fault-free run
+        let split_vec = make_splits(records.clone(), splits, machines);
+        let seeded = FaultPlan::seeded(fault_seed, machines, &FaultMix::mixed());
+        let mut plan = FaultPlan::new();
+        for m in 1..machines {
+            let f = seeded.fault(m);
+            if let Some(t) = f.crash_at_us {
+                plan = plan.crash(m, t);
+            }
+            plan = plan.slow(m, f.slowdown).flaky(m, f.flaky_prob);
+        }
+        let clean = Cluster::new(machines).run(&SumJob, &split_vec, seed);
+        let chaotic = Cluster::new(machines)
+            .with_fault_plan(plan)
+            .with_speculation(1.5)
+            .with_blacklist_after(2)
+            .with_retry_backoff(250_000.0)
+            .try_run(&SumJob, &split_vec, seed);
+        let chaotic = match chaotic {
+            Ok(out) => out,
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "job must complete with machine 0 healthy: {e}"
+            ))),
+        };
+        let a: HashMap<u8, i64> = clean.results.into_iter().collect();
+        let b: HashMap<u8, i64> = chaotic.results.into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slow_and_flaky_faults_never_shorten_the_job(
+        records in prop::collection::vec((0u8..6, 0i64..40), 1..120),
+        machines in 1usize..8,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        // without reassignment (no crash) and without backups (no
+        // speculation), home placement is preserved, so slow or flaky
+        // nodes can only ever add simulated time
+        let mix = FaultMix {
+            slow_prob: 0.5,
+            flaky_prob: 0.5,
+            ..FaultMix::default()
+        };
+        let plan = FaultPlan::seeded(fault_seed, machines, &mix);
+        let costs = CostConfig { cpu_slowdown: 0.0, ..CostConfig::default() };
+        let splits = make_splits(records, 4, machines);
+        let clean = Cluster::new(machines).with_costs(costs).run(&SumJob, &splits, seed);
+        let faulty = Cluster::new(machines)
+            .with_costs(costs)
+            .with_fault_plan(plan)
+            .run(&SumJob, &splits, seed);
+        prop_assert!(
+            faulty.stats.sim.makespan_us >= clean.stats.sim.makespan_us - 1e-6,
+            "faults shortened the job: {} < {}",
+            faulty.stats.sim.makespan_us,
+            clean.stats.sim.makespan_us
+        );
+    }
+
+    #[test]
+    fn critical_path_sums_to_makespan_under_faults(
+        records in prop::collection::vec((0u8..8, 0i64..40), 1..120),
+        machines in 1usize..6,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        // the trace *is* the schedule even under recovery: the phase
+        // windows reconstructed from events must sum to the scheduler's
+        // makespan to FP rounding, with backoff gaps, re-executions and
+        // overlapping speculative backups all in play
+        let mix = FaultMix {
+            slow_prob: 0.4,
+            flaky_prob: 0.4,
+            ..FaultMix::default()
+        };
+        let plan = FaultPlan::seeded(fault_seed, machines, &mix);
+        let sink = TraceSink::new();
+        let splits = make_splits(records, 4, machines);
+        let out = Cluster::new(machines)
+            .with_trace(sink.clone())
+            .with_fault_plan(plan)
+            .with_speculation(1.5)
+            .with_retry_backoff(125_000.0)
+            .run_with_combiner(&SumJobCombined, &splits, seed);
+        let jobs = sink.jobs();
+        let cp = analysis::critical_path(&jobs[0]);
+        let makespan = out.stats.sim.makespan_us;
+        prop_assert!(
+            (cp.total_us - makespan).abs() <= 1e-6 * makespan.max(1.0),
+            "critical path {} != makespan {}",
+            cp.total_us,
+            makespan
+        );
+        prop_assert!((jobs[0].makespan_us - makespan).abs() < 1e-9);
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //! (DESIGN.md, substitution 4).
 
 use crate::audit::{escape_json, write_json_f64};
-use crate::limits::stratum_selection_limits;
-use crate::mqe::mr_mqe_on_splits;
+use crate::limits::try_stratum_selection_limits;
+use crate::mqe::try_mr_mqe_on_splits;
 use crate::obs::StratumCounters;
 use crate::reservoir::Reservoir;
 use crate::sst::{Sst, StratumSelection};
@@ -37,10 +37,43 @@ use stratmr_lp::{
     solve_ip_counted, solve_ip_traced_counted, solve_lp_counted, solve_lp_traced_counted,
     BranchBoundStats, LpError, Problem, Relation, SimplexStats, Solution,
 };
-use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobStats, TaskCtx};
+use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobError, JobStats, TaskCtx};
 use stratmr_population::{DistributedDataset, Individual};
 use stratmr_query::{MssdAnswer, MssdQuery, SsdAnswer, SsdQuery, SurveySet};
 use stratmr_telemetry::Registry;
+
+/// Why a CPS run failed: the constraint program was unsolvable, or one
+/// of the MapReduce phases could not complete under the fault model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpsError {
+    /// The Figure 3 program could not be solved.
+    Lp(LpError),
+    /// A MapReduce phase failed (retry exhaustion / no healthy machines).
+    Job(JobError),
+}
+
+impl std::fmt::Display for CpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpsError::Lp(e) => write!(f, "constraint program failed: {e}"),
+            CpsError::Job(e) => write!(f, "mapreduce phase failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CpsError {}
+
+impl From<LpError> for CpsError {
+    fn from(e: LpError) -> Self {
+        CpsError::Lp(e)
+    }
+}
+
+impl From<JobError> for CpsError {
+    fn from(e: JobError) -> Self {
+        CpsError::Job(e)
+    }
+}
 
 /// Which solver backs step 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -521,7 +554,47 @@ pub fn mr_cps_on_splits(
     config: CpsConfig,
     seed: u64,
 ) -> Result<CpsRun, LpError> {
+    lp_or_panic(mr_cps_inner(cluster, splits, mssd, config, seed, false)).map(|(run, _)| run)
+}
+
+/// Fault-aware [`mr_cps`]: scheduling failures in any MapReduce phase
+/// come back as [`CpsError::Job`] instead of panicking.
+pub fn try_mr_cps(
+    cluster: &Cluster,
+    data: &DistributedDataset,
+    mssd: &MssdQuery,
+    config: CpsConfig,
+    seed: u64,
+) -> Result<CpsRun, CpsError> {
+    try_mr_cps_on_splits(
+        cluster,
+        &crate::input::to_input_splits(data),
+        mssd,
+        config,
+        seed,
+    )
+}
+
+/// Fault-aware [`mr_cps_on_splits`].
+pub fn try_mr_cps_on_splits(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    mssd: &MssdQuery,
+    config: CpsConfig,
+    seed: u64,
+) -> Result<CpsRun, CpsError> {
     mr_cps_inner(cluster, splits, mssd, config, seed, false).map(|(run, _)| run)
+}
+
+/// Preserve the legacy contract of the `Result<_, LpError>` entry
+/// points: solver errors pass through, scheduling failures panic (they
+/// only occur when a fault plan or failure injection is configured).
+fn lp_or_panic<T>(r: Result<T, CpsError>) -> Result<T, LpError> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(CpsError::Lp(e)) => Err(e),
+        Err(CpsError::Job(e)) => panic!("mapreduce job failed: {e}"),
+    }
 }
 
 /// Run CPS / MR-CPS over a distributed dataset, also capturing a full
@@ -551,7 +624,7 @@ pub fn mr_cps_explain_on_splits(
     config: CpsConfig,
     seed: u64,
 ) -> Result<(CpsRun, PlanExplain), LpError> {
-    mr_cps_inner(cluster, splits, mssd, config, seed, true)
+    lp_or_panic(mr_cps_inner(cluster, splits, mssd, config, seed, true))
         .map(|(run, explain)| (run, explain.expect("explain capture was requested")))
 }
 
@@ -565,7 +638,7 @@ fn mr_cps_inner(
     config: CpsConfig,
     seed: u64,
     capture: bool,
-) -> Result<(CpsRun, Option<PlanExplain>), LpError> {
+) -> Result<(CpsRun, Option<PlanExplain>), CpsError> {
     let queries = mssd.queries();
     let n = queries.len();
     let mut phase_stats = Vec::new();
@@ -578,13 +651,13 @@ fn mr_cps_inner(
     // ---- step 1: representative first-phase answer (Line 1) ------------
     let initial = {
         let _s = tel.map(|t| t.span("initial_mqe"));
-        mr_mqe_on_splits(
+        try_mr_mqe_on_splits(
             &cluster.named("cps/initial-mqe"),
             splits,
             queries,
             None,
             seed.wrapping_add(1),
-        )
+        )?
     };
     phase_stats.push(("initial MR-MQE".to_string(), initial.stats.clone()));
 
@@ -610,13 +683,13 @@ fn mr_cps_inner(
     let relevant_set: HashSet<StratumSelection> = relevant.iter().cloned().collect();
     let (limits, limit_stats) = {
         let _s = tel.map(|t| t.span("limits"));
-        stratum_selection_limits(
+        try_stratum_selection_limits(
             &cluster.named("cps/limits"),
             splits,
             queries,
             Some(&relevant_set),
             seed.wrapping_add(2),
-        )
+        )?
     };
     phase_stats.push(("selection limits".to_string(), limit_stats));
 
@@ -714,11 +787,11 @@ fn mr_cps_inner(
     };
     let combined = {
         let _s = tel.map(|t| t.span("combined_sqe"));
-        cluster.named("cps/combined-sqe").run_with_combiner(
+        cluster.named("cps/combined-sqe").try_run_with_combiner(
             &combined_job,
             splits,
             seed.wrapping_add(3),
-        )
+        )?
     };
     phase_stats.push(("combined MR-SQE".to_string(), combined.stats.clone()));
     let mut pools: Vec<Vec<Individual>> = vec![Vec::new(); active.len()];
@@ -784,7 +857,7 @@ fn mr_cps_inner(
             let _s = tel.map(|t| t.span("residual"));
             cluster
                 .named(&format!("cps/residual#{round}"))
-                .run_with_combiner(&residual_job, splits, seed.wrapping_add(4 + round as u64))
+                .try_run_with_combiner(&residual_job, splits, seed.wrapping_add(4 + round as u64))?
         };
         if let Some(t) = tel {
             t.counter("cps.residual.rounds").inc();

@@ -59,13 +59,13 @@ pub mod unified;
 
 pub use audit::{summarize_mean, EstimateSummary, QualityReport, StratumTrail, BIAS_GATE_Z};
 pub use cps::{
-    mr_cps, mr_cps_explain, mr_cps_explain_on_splits, mr_cps_on_splits, CpsConfig, CpsRun,
-    CpsTimings, PlanExplain, SolverKind,
+    mr_cps, mr_cps_explain, mr_cps_explain_on_splits, mr_cps_on_splits, try_mr_cps,
+    try_mr_cps_on_splits, CpsConfig, CpsError, CpsRun, CpsTimings, PlanExplain, SolverKind,
 };
 pub use estimate::{srs_mean, stratified_mean, stratified_proportion, stratified_total, Estimate};
 pub use input::{to_input_splits, wire_bytes};
-pub use limits::stratum_selection_limits;
-pub use mqe::{mr_mqe, mr_mqe_on_splits, MqeJob, MqeRun};
+pub use limits::{stratum_selection_limits, try_stratum_selection_limits};
+pub use mqe::{mr_mqe, mr_mqe_on_splits, try_mr_mqe_on_splits, MqeJob, MqeRun};
 pub use naive::{naive_sqe, naive_sqe_on_splits, NaiveSqeJob, SqeRun};
 pub use percent::{
     mr_sqe_percent, resolve_percentages, PercentRun, PercentSsdQuery, PercentStratum,
@@ -73,7 +73,7 @@ pub use percent::{
 pub use predicate::{predicate_sample, PredicateSample};
 pub use reservoir::{reservoir_sample, Reservoir, SkipReservoir, ZReservoir};
 pub use sequential::sequential_ssd;
-pub use sqe::{mr_sqe, mr_sqe_indexed_on_splits, mr_sqe_on_splits, SqeJob};
+pub use sqe::{mr_sqe, mr_sqe_indexed_on_splits, mr_sqe_on_splits, try_mr_sqe_on_splits, SqeJob};
 pub use srs::{mr_srs, mr_srs_on_splits};
 pub use sst::{Sst, StratumSelection};
 pub use stream::{merge_streams, StreamingSampler};

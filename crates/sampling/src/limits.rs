@@ -8,7 +8,7 @@
 //! relevant selections appear in the program.
 
 use std::collections::{HashMap, HashSet};
-use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobStats, TaskCtx};
+use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobError, JobStats, TaskCtx};
 use stratmr_population::Individual;
 use stratmr_query::SsdQuery;
 
@@ -84,14 +84,29 @@ pub fn stratum_selection_limits(
     filter: Option<&HashSet<StratumSelection>>,
     seed: u64,
 ) -> (HashMap<StratumSelection, u64>, JobStats) {
+    match try_stratum_selection_limits(cluster, splits, queries, filter, seed) {
+        Ok(out) => out,
+        Err(e) => panic!("mapreduce job failed: {e}"),
+    }
+}
+
+/// Fault-aware [`stratum_selection_limits`]: surfaces scheduling
+/// failures as [`JobError`] instead of panicking.
+pub fn try_stratum_selection_limits(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    queries: &[SsdQuery],
+    filter: Option<&HashSet<StratumSelection>>,
+    seed: u64,
+) -> Result<(HashMap<StratumSelection, u64>, JobStats), JobError> {
     let mut job = LimitsJob::new(queries);
     if let Some(f) = filter {
         job = job.with_filter(f);
     }
     let out = cluster
         .named_or("limits")
-        .run_with_combiner(&job, splits, seed);
-    (out.results.into_iter().collect(), out.stats)
+        .try_run_with_combiner(&job, splits, seed)?;
+    Ok((out.results.into_iter().collect(), out.stats))
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use crate::unified::{unified_sampler, IntermediateSample};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
-use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobStats, TaskCtx};
+use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobError, JobStats, TaskCtx};
 use stratmr_population::{DistributedDataset, Individual};
 use stratmr_query::{MssdAnswer, SsdAnswer, SsdQuery, StratumId};
 use stratmr_telemetry::Registry;
@@ -158,6 +158,21 @@ pub fn mr_mqe_on_splits(
     exclusions: Option<&[HashSet<u64>]>,
     seed: u64,
 ) -> MqeRun {
+    match try_mr_mqe_on_splits(cluster, splits, queries, exclusions, seed) {
+        Ok(run) => run,
+        Err(e) => panic!("mapreduce job failed: {e}"),
+    }
+}
+
+/// Fault-aware [`mr_mqe_on_splits`]: surfaces scheduling failures as
+/// [`JobError`] instead of panicking.
+pub fn try_mr_mqe_on_splits(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    queries: &[SsdQuery],
+    exclusions: Option<&[HashSet<u64>]>,
+    seed: u64,
+) -> Result<MqeRun, JobError> {
     let cluster = cluster.named_or("mqe");
     let _span = cluster.telemetry().map(|t| t.span("mqe.run"));
     let mut job = MqeJob::new(queries);
@@ -167,15 +182,15 @@ pub fn mr_mqe_on_splits(
     if let Some(registry) = cluster.telemetry() {
         job = job.with_telemetry(registry);
     }
-    let out = cluster.run_with_combiner(&job, splits, seed);
+    let out = cluster.try_run_with_combiner(&job, splits, seed)?;
     let mut answers: Vec<SsdAnswer> = queries.iter().map(|q| SsdAnswer::empty(q.len())).collect();
     for ((i, k), sample) in out.results {
         *answers[i].stratum_mut(k) = sample;
     }
-    MqeRun {
+    Ok(MqeRun {
         answer: MssdAnswer::new(answers),
         stats: out.stats,
-    }
+    })
 }
 
 /// Run MR-MQE over a distributed dataset.

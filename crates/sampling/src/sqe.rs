@@ -16,7 +16,7 @@ use crate::reservoir::Reservoir;
 use crate::unified::{unified_sampler, IntermediateSample};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, TaskCtx};
+use stratmr_mapreduce::{Cluster, CombineJob, Emitter, InputSplit, JobError, TaskCtx};
 use stratmr_population::{DistributedDataset, Individual};
 use stratmr_query::{SsdAnswer, SsdQuery, StratumId, StratumIndex};
 use stratmr_telemetry::Registry;
@@ -149,27 +149,52 @@ pub fn mr_sqe_indexed_on_splits(
     )
 }
 
+/// Fault-aware [`mr_sqe_on_splits`]: surfaces scheduling failures (retry
+/// exhaustion, no healthy machines under a fault plan) as [`JobError`]
+/// instead of panicking.
+pub fn try_mr_sqe_on_splits(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    query: &SsdQuery,
+    seed: u64,
+) -> Result<SqeRun, JobError> {
+    try_mr_sqe_with_job(cluster, splits, query, SqeJob::new(query), seed)
+}
+
 fn mr_sqe_with_job(
+    cluster: &Cluster,
+    splits: &[InputSplit<Individual>],
+    query: &SsdQuery,
+    job: SqeJob<'_>,
+    seed: u64,
+) -> SqeRun {
+    match try_mr_sqe_with_job(cluster, splits, query, job, seed) {
+        Ok(run) => run,
+        Err(e) => panic!("mapreduce job failed: {e}"),
+    }
+}
+
+fn try_mr_sqe_with_job(
     cluster: &Cluster,
     splits: &[InputSplit<Individual>],
     query: &SsdQuery,
     mut job: SqeJob<'_>,
     seed: u64,
-) -> SqeRun {
+) -> Result<SqeRun, JobError> {
     let cluster = cluster.named_or("sqe");
     let _span = cluster.telemetry().map(|t| t.span("sqe.run"));
     if let Some(registry) = cluster.telemetry() {
         job = job.with_telemetry(registry);
     }
-    let out = cluster.run_with_combiner(&job, splits, seed);
+    let out = cluster.try_run_with_combiner(&job, splits, seed)?;
     let mut answer = SsdAnswer::empty(query.len());
     for (k, sample) in out.results {
         *answer.stratum_mut(k) = sample;
     }
-    SqeRun {
+    Ok(SqeRun {
         answer,
         stats: out.stats,
-    }
+    })
 }
 
 /// Run MR-SQE over a distributed dataset.

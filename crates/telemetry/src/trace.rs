@@ -76,8 +76,13 @@ pub struct TraceEvent {
     /// Attempt number; retried attempts come first, the successful
     /// attempt is the highest.
     pub attempt: u32,
-    /// True for an attempt that failed and was retried.
+    /// True for an attempt that did not produce the task's output: a
+    /// failed (retried) attempt, an attempt killed by a node crash, or
+    /// the losing half of a speculative pair.
     pub failed: bool,
+    /// True for a speculative backup attempt (launched against a
+    /// straggling primary; first finisher wins).
+    pub speculative: bool,
     /// Simulated start, µs since the job started.
     pub start_us: f64,
     /// Simulated duration, µs (already scaled by the machine's slowness
@@ -273,10 +278,17 @@ impl TraceSink {
             push(&mut out, &slice, &mut first);
             for e in &job.events {
                 let mut line = String::new();
-                let name = if e.failed {
-                    format!("{} {} retry#{}", e.phase.as_str(), e.task, e.attempt)
-                } else {
-                    format!("{} {}", e.phase.as_str(), e.task)
+                let name = match (e.failed, e.speculative) {
+                    (true, true) => {
+                        format!("{} {} spec-kill#{}", e.phase.as_str(), e.task, e.attempt)
+                    }
+                    (true, false) => {
+                        format!("{} {} retry#{}", e.phase.as_str(), e.task, e.attempt)
+                    }
+                    (false, true) => {
+                        format!("{} {} spec-win#{}", e.phase.as_str(), e.task, e.attempt)
+                    }
+                    (false, false) => format!("{} {}", e.phase.as_str(), e.task),
                 };
                 let _ = write!(
                     line,
@@ -295,6 +307,9 @@ impl TraceSink {
                 );
                 if let Some(p) = e.partition {
                     let _ = write!(line, ", \"partition\": {p}");
+                }
+                if e.speculative {
+                    line.push_str(", \"speculative\": true");
                 }
                 line.push_str("}}");
                 push(&mut out, &line, &mut first);
@@ -327,6 +342,7 @@ mod tests {
             partition: None,
             attempt: 0,
             failed: false,
+            speculative: false,
             start_us: start,
             dur_us: dur,
             records: 1,
@@ -410,5 +426,21 @@ mod tests {
         e.attempt = 0;
         sink.record_job("j", 0.0, 1.0, 1, vec![e]);
         assert!(sink.chrome_trace_json().contains("map 3 retry#0"));
+    }
+
+    #[test]
+    fn speculative_slices_are_labeled() {
+        let sink = TraceSink::new();
+        let mut win = event(TracePhase::Map, 1, 3, 0.0, 1.0);
+        win.speculative = true;
+        win.attempt = 1;
+        let mut kill = event(TracePhase::Map, 0, 4, 0.0, 1.0);
+        kill.speculative = true;
+        kill.failed = true;
+        sink.record_job("j", 0.0, 1.0, 2, vec![win, kill]);
+        let json = sink.chrome_trace_json();
+        assert!(json.contains("map 3 spec-win#1"), "{json}");
+        assert!(json.contains("map 4 spec-kill#0"), "{json}");
+        assert!(json.contains("\"speculative\": true"), "{json}");
     }
 }
